@@ -1,0 +1,87 @@
+"""Section 5 phase 3 — prediction tolerance to background load changes.
+
+Paper: predictions are highly sensitive to load arriving after they are
+made: once even a single mapped node loses ~10 % of its CPU, the error
+exceeds the no-load ~4 % band; only light (<10 %) or short-lived loads
+leave a standing prediction valid.  A fresh snapshot restores accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import repetitions
+from repro.experiments.report import ascii_table
+from repro.experiments.validation import load_sensitivity
+from repro.workloads import BT, LU, SP
+
+# The paper re-ran its LU, SP and BT cases (all compute-dominated, so a
+# CPU-availability change maps ~1:1 into execution time).  BT and SP
+# need square process counts, hence 4 processes for them.
+CASES = [("LU-A", lambda: LU("A"), 8), ("SP-A", lambda: SP("A"), 4), ("BT-A", lambda: BT("A"), 4)]
+LOADS = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+def run_phase3(ctx, runs: int):
+    pool = ctx.service.cluster.nodes_by_arch("alpha-533")
+    out = {}
+    for label, factory, nprocs in CASES:
+        app = factory()
+        out[label] = load_sensitivity(
+            ctx, app, pool, nprocs=nprocs, loads=LOADS, loaded_nodes=1, runs=runs, seed=81
+        )
+        ctx.service.cluster.clear_loads()
+    return out
+
+
+def run_burst(ctx, runs: int):
+    """The other half of phase 3: short-term loads are tolerated."""
+    app = LU("A")
+    ctx.ensure_profiled(app, 8, seed=81)
+    pool = ctx.service.cluster.nodes_by_arch("alpha-533")
+    mapping_nodes = pool[:8]
+    from repro.core import TaskMapping
+
+    mapping = TaskMapping(mapping_nodes)
+    predicted = ctx.predict(app.name, mapping)
+    victim = mapping.node_of(0)
+    node = ctx.service.cluster.node(victim)
+    # Full-CPU hog for 5 simulated seconds of a ~190 s run.
+    node.set_load_schedule([(60.0, 1.0), (65.0, 0.0)])
+    measured = ctx.measure(app, mapping, runs=runs, seed=91)
+    ctx.service.cluster.clear_loads()
+    return abs(predicted - measured.mean) / measured.mean * 100
+
+
+def test_phase3_load_sensitivity(benchmark, og_ctx):
+    runs = repetitions(2, 5)
+    data = benchmark.pedantic(run_phase3, args=(og_ctx, runs), rounds=1, iterations=1)
+    burst_error = run_burst(og_ctx, runs)
+    rows = []
+    for label, points in data.items():
+        for p in points:
+            rows.append(
+                [label, f"{p.load * 100:.0f}%", f"{p.stale_error_percent:.1f}",
+                 f"{p.fresh_error_percent:.1f}"]
+            )
+    print()
+    print(
+        ascii_table(
+            ["case", "injected load", "stale prediction err %", "fresh prediction err %"],
+            rows,
+            title="Phase 3: prediction error vs background load on one mapped node",
+        )
+    )
+    for label, points in data.items():
+        by_load = {p.load: p for p in points}
+        # Light load (5%) keeps the stale prediction within ~the no-load band.
+        assert by_load[0.05].stale_error_percent < 8.0, label
+        # 20%+ load invalidates it...
+        assert by_load[0.2].stale_error_percent > by_load[0.0].stale_error_percent + 4.0, label
+        # ...monotonically getting worse...
+        assert by_load[0.4].stale_error_percent > by_load[0.1].stale_error_percent, label
+        # ...while a fresh snapshot keeps the formula itself accurate.
+        assert by_load[0.4].fresh_error_percent < by_load[0.4].stale_error_percent, label
+        assert by_load[0.4].fresh_error_percent < 10.0, label
+    # The paper's other finding: "instantaneous or short term loads ...
+    # were found to not invalidate the predictions."
+    print(f"short 5s full-load burst on one node: stale error {burst_error:.1f}%")
+    assert burst_error < 5.0

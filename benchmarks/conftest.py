@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Benchmarks run at a reduced scale
+by default so the whole suite finishes in minutes; set ``REPRO_FULL=1``
+for the paper's repetition counts (5 measurement runs, 100 scheduling
+runs, the full phase-1 factor grid).
+
+The printed artifact of every benchmark is the reproduced table/figure;
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import centurion, orange_grove
+from repro.core import CBES, TaskMapping
+from repro.experiments.harness import ExperimentContext
+from repro.schedulers.annealing import AnnealingSchedule
+from repro.workloads import LU
+
+#: SA budget used by scheduling benchmarks at reduced scale.
+BENCH_SA = AnnealingSchedule(moves_per_temperature=40, steps=25, patience=8)
+
+
+@pytest.fixture(scope="session")
+def og_ctx() -> ExperimentContext:
+    """Calibrated Orange Grove context with LU-A profiled on the alphas."""
+    cluster = orange_grove()
+    service = CBES(cluster)
+    ctx = ExperimentContext(service)
+    ctx.ensure_profiled(
+        LU("A"), 8, mapping=TaskMapping(cluster.nodes_by_arch("alpha-533")), seed=0
+    )
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def cent_ctx() -> ExperimentContext:
+    """Calibrated Centurion context (figure-5 substrate)."""
+    return ExperimentContext(CBES(centurion()))

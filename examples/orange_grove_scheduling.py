@@ -1,0 +1,66 @@
+"""The paper's section-6 study in miniature: zones, CS vs NCS vs RS.
+
+Reproduces the structure of figure 6 and tables 1-2 at example scale:
+sample the mapping space of LU on Orange Grove, show the three
+execution-time zones, then compare the three schedulers on each zone.
+
+Run:  python examples/orange_grove_scheduling.py
+"""
+
+from repro import CBES, orange_grove
+from repro.experiments import ExperimentContext, ascii_table, lu_zones, range_plot, sample_mapping_times
+from repro.schedulers import AnnealingSchedule, CbesScheduler, NoCommScheduler, RandomScheduler
+from repro.workloads import LU
+
+SA = AnnealingSchedule(moves_per_temperature=30, steps=20, patience=6)
+
+
+def main() -> None:
+    cluster = orange_grove()
+    ctx = ExperimentContext(CBES(cluster))
+    app = LU("A")
+    ctx.ensure_profiled(app, 8, seed=0)
+    zones = lu_zones(cluster)
+
+    # --- Figure 6: the three execution-time zones -------------------
+    samples = {
+        name: sample_mapping_times(ctx, app, zone, samples=8, seed=5)
+        for name, zone in zones.items()
+    }
+    print(
+        range_plot(
+            [(f"{n} speed group", min(t), max(t)) for n, t in samples.items()],
+            label="LU on 8 Orange Grove nodes: measured execution-time zones",
+        )
+    )
+    print()
+
+    # --- Tables 1-2 in miniature: schedulers per zone ----------------
+    rows = []
+    for name, zone in zones.items():
+        constraint = zone.constraint(cluster)
+        per_sched = {}
+        for scheduler, tag in (
+            (CbesScheduler(schedule=SA, constraint=constraint), "CS"),
+            (NoCommScheduler(schedule=SA, constraint=constraint), "NCS"),
+            (RandomScheduler(constraint=constraint), "RS"),
+        ):
+            result = ctx.service.schedule(app.name, scheduler, list(zone.pool), seed=3)
+            measured = ctx.measure(app, result.mapping, runs=2, seed=9)
+            per_sched[tag] = measured.mean
+        speedup = (per_sched["RS"] - per_sched["CS"]) / per_sched["RS"] * 100
+        rows.append(
+            [name, f"{per_sched['CS']:.1f}", f"{per_sched['NCS']:.1f}",
+             f"{per_sched['RS']:.1f}", f"{speedup:.1f}"]
+        )
+    print(
+        ascii_table(
+            ["zone", "CS measured (s)", "NCS measured (s)", "RS measured (s)", "CS vs RS %"],
+            rows,
+            title="Scheduler comparison per zone (one run each)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

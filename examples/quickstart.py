@@ -1,0 +1,57 @@
+"""Quickstart: schedule a parallel application with CBES.
+
+Builds the paper's Orange Grove cluster, calibrates the latency model,
+profiles NPB LU, and lets the CBES simulated-annealing scheduler pick a
+mapping — then verifies the pick by "running" the application on it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CBES, TaskMapping, orange_grove
+from repro.schedulers import CbesScheduler, RandomScheduler
+from repro.workloads import LU
+
+
+def main() -> None:
+    # 1. The computing system: 28 heterogeneous nodes, 5 switches,
+    #    federated through a limited-capacity link.
+    cluster = orange_grove()
+    print(f"cluster: {cluster}")
+
+    # 2. Stand up the service and run the one-off calibration phase.
+    service = CBES(cluster)
+    report = service.calibrate(seed=1)
+    print(
+        f"calibrated {report.pair_benchmarks} node pairs in {report.rounds} "
+        f"clique rounds ({report.parallel_speedup:.0f}x faster than sequential)"
+    )
+    low, high, spread = cluster.latency_model.spread(1024)
+    print(f"internode latency spread @1KB: {spread * 100:.0f}% ({low * 1e6:.0f}..{high * 1e6:.0f} us)")
+
+    # 3. Profile the application once (a traced run + analysis).
+    app = LU("A")
+    profile = service.profile_application(app, nprocs=8, seed=0)
+    comp, comm = profile.comp_comm_ratio
+    print(f"profiled {app.name}: computation/communication = {comp:.0%}/{comm:.0%}")
+
+    # 4. Ask the scheduler for a mapping over the Alpha nodes.
+    pool = cluster.nodes_by_arch("alpha-533")
+    cs = service.schedule(app.name, CbesScheduler(), pool, seed=7)
+    rs = service.schedule(app.name, RandomScheduler(), pool, seed=7)
+    print(f"CS selected  {list(cs.mapping)}")
+    print(f"   predicted {cs.predicted_time:.1f} s after {cs.evaluations} evaluations")
+    print(f"RS selected  {list(rs.mapping)} (predicted {rs.predicted_time:.1f} s)")
+
+    # 5. Verify: measure both mappings on the (simulated) cluster.
+    def measure(mapping: TaskMapping) -> float:
+        return service.simulator.run(
+            app.program(8), mapping.as_dict(), seed=42, arch_affinity=app.arch_affinity
+        ).total_time
+
+    t_cs, t_rs = measure(cs.mapping), measure(rs.mapping)
+    print(f"measured: CS {t_cs:.1f} s vs RS {t_rs:.1f} s "
+          f"-> speedup {(t_rs - t_cs) / t_rs * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Per-segment scheduling and the repeated-core-segment economics.
+
+The paper (section 6.2) notes that the SA scheduler can cost more than a
+short program saves — *"however, an application run may consist of a
+core segment repeated any number of times; one would need to pay the
+overhead for finding a mapping for this core segment only once."*
+
+This example profiles a three-phase application per segment (LAM/MPI
+marker style), schedules each segment on its own profile, and shows how
+the scheduler overhead amortizes over repeated core executions.
+
+Run:  python examples/segment_scheduling.py
+"""
+
+from repro import CBES, orange_grove
+from repro.core import SegmentScheduler
+from repro.experiments import ascii_table
+from repro.schedulers import CbesScheduler, RandomScheduler
+from repro.workloads import PhasedApplication
+
+SEGMENT_NAMES = {0: "setup (all-to-all)", 1: "solve (compute)", 2: "core (halo, repeatable)"}
+
+
+def main() -> None:
+    cluster = orange_grove()
+    service = CBES(cluster)
+    service.calibrate(seed=1)
+
+    app = PhasedApplication()
+    profile = service.profile_application(app, nprocs=8, seed=0, per_segment=True)
+    print("per-segment behaviour:")
+    for seg, seg_profile in sorted(profile.segments.items()):
+        comp, comm = seg_profile.comp_comm_ratio
+        print(f"  segment {seg} [{SEGMENT_NAMES[seg]}]: computation {comp:.0%} / communication {comm:.0%}")
+
+    pool = cluster.nodes_by_arch("alpha-533") + cluster.nodes_by_arch("pii-400")
+    scheduler = SegmentScheduler(service, CbesScheduler(), pool=pool)
+    plans = scheduler.schedule_all(app.name, seed=3)
+
+    rows = []
+    for seg, plan in sorted(plans.items()):
+        # Baseline: what a random placement would predict for this segment.
+        rs = service.schedule(f"{app.name}#seg{seg}", RandomScheduler(), pool, seed=9)
+        rows.append(
+            [
+                f"{seg}: {SEGMENT_NAMES[seg]}",
+                f"{plan.predicted_time:.2f}",
+                f"{rs.predicted_time:.2f}",
+                f"{plan.scheduler_time_s:.2f}",
+                f"{plan.amortized_overhead(1000) * 1000:.1f} ms",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["segment", "CS predicted (s)", "RS predicted (s)", "scheduler cost (s)", "cost /1000 reps"],
+            rows,
+            title="Per-segment scheduling",
+        )
+    )
+
+    core = plans[2]
+    rs_core = service.schedule(f"{app.name}#seg2", RandomScheduler(), pool, seed=11)
+    for reps in (1, 10, 1000):
+        ok = core.worthwhile(reps, baseline_time=rs_core.predicted_time)
+        print(
+            f"core segment x{reps:5d}: scheduling {'pays for itself' if ok else 'not worth it'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

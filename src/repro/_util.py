@@ -1,0 +1,102 @@
+"""Small shared utilities used across the :mod:`repro` packages.
+
+This module intentionally has no dependencies on other ``repro``
+subpackages so that anything may import it without creating cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_fraction",
+    "check_positive",
+    "mean_and_ci95",
+    "percent_error",
+    "spawn_rng",
+    "stable_hash",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that *value* is a finite, strictly positive number."""
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str, *, closed_low: bool = True) -> float:
+    """Validate that *value* lies in ``[0, 1]`` (or ``(0, 1]``).
+
+    Parameters
+    ----------
+    value:
+        Number to validate.
+    name:
+        Name used in the error message.
+    closed_low:
+        When False, zero is rejected (useful for availabilities that are
+        used as divisors).
+    """
+    low_ok = value >= 0.0 if closed_low else value > 0.0
+    if not (math.isfinite(value) and low_ok and value <= 1.0):
+        bound = "[0, 1]" if closed_low else "(0, 1]"
+        raise ValueError(f"{name} must be within {bound}, got {value!r}")
+    return float(value)
+
+
+def stable_hash(*parts: object) -> int:
+    """Deterministic 63-bit hash of a tuple of simple values.
+
+    ``hash()`` is salted per interpreter run for strings, so seeded
+    experiments must not rely on it.  This uses FNV-1a over the repr of
+    each part, which is stable across runs and platforms.
+    """
+    acc = 0xCBF29CE484222325
+    for part in parts:
+        for byte in repr(part).encode("utf-8"):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc & 0x7FFFFFFFFFFFFFFF
+
+
+def spawn_rng(seed: int, *parts: object) -> np.random.Generator:
+    """Create an independent RNG stream derived from *seed* and a key.
+
+    Every distinct ``(seed, parts...)`` combination yields a distinct,
+    reproducible stream, so parallel or repeated experiments never share
+    state accidentally.
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed & 0x7FFFFFFF, stable_hash(*parts)]))
+
+
+def mean_and_ci95(samples: Sequence[float] | Iterable[float]) -> tuple[float, float]:
+    """Return ``(mean, half_width)`` of a 95 % t-confidence interval.
+
+    For a single sample the half width is 0.  Matches the paper's
+    reporting convention (mean ± 95 % CI over 5 or 100 runs).
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_and_ci95 requires at least one sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    # scipy is a hard dependency; import locally to keep module import light.
+    from scipy import stats
+
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    if sem == 0.0:
+        return mean, 0.0
+    half = float(stats.t.ppf(0.975, arr.size - 1)) * sem
+    return mean, half
+
+
+def percent_error(predicted: float, actual: float) -> float:
+    """Absolute prediction error as a percentage of the actual value."""
+    if actual == 0.0:
+        raise ValueError("actual value must be nonzero")
+    return abs(predicted - actual) / abs(actual) * 100.0

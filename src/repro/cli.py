@@ -1,0 +1,275 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Drives the CBES service against the built-in testbeds from a shell —
+the operational workflow of the paper (calibrate once, profile
+applications, serve scheduling requests) with the profile database as
+persistent state between invocations.
+
+Commands
+--------
+
+``calibrate``  run the off-line calibration phase and store the model
+``profile``    profile a built-in application and store its profile
+``schedule``   pick a mapping for a stored application profile
+``predict``    evaluate an explicit mapping
+``inspect``    show stored profiles / cluster facts
+``demo``       end-to-end walkthrough on Orange Grove
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cluster import Cluster, centurion, orange_grove
+from repro.core import CBES, TaskMapping
+from repro.profiling import ProfileDatabase
+from repro.schedulers import (
+    CbesScheduler,
+    GeneticScheduler,
+    GreedyScheduler,
+    NoCommScheduler,
+    RandomScheduler,
+)
+from repro.workloads import (
+    BT,
+    CG,
+    EP,
+    HPL,
+    IS,
+    LU,
+    MG,
+    SAMRAI,
+    SMG2000,
+    SP,
+    Aztec,
+    Sweep3D,
+    SyntheticBenchmark,
+    Towhee,
+)
+
+__all__ = ["main", "build_parser"]
+
+CLUSTERS = {"orange-grove": orange_grove, "centurion": centurion}
+
+SCHEDULERS = {
+    "cs": CbesScheduler,
+    "ncs": NoCommScheduler,
+    "rs": RandomScheduler,
+    "greedy": GreedyScheduler,
+    "ga": GeneticScheduler,
+}
+
+
+def make_app(spec: str):
+    """Build a workload model from a CLI spec like ``lu.A`` or ``hpl.5000``."""
+    name, _, arg = spec.partition(".")
+    name = name.lower()
+    try:
+        if name in ("lu", "bt", "sp", "mg", "cg", "is", "ep"):
+            cls = {"lu": LU, "bt": BT, "sp": SP, "mg": MG, "cg": CG, "is": IS, "ep": EP}[name]
+            return cls(arg or "A")
+        if name == "hpl":
+            return HPL(int(arg or 10000))
+        if name == "smg2000":
+            return SMG2000(int(arg or 50))
+        if name == "aztec":
+            return Aztec(int(arg or 500))
+        if name == "sweep3d":
+            return Sweep3D()
+        if name == "samrai":
+            return SAMRAI()
+        if name == "towhee":
+            return Towhee()
+        if name == "synthetic":
+            return SyntheticBenchmark()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: bad application spec {spec!r}: {exc}") from exc
+    raise SystemExit(f"error: unknown application {spec!r}")
+
+
+def build_cluster(name: str) -> Cluster:
+    try:
+        return CLUSTERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"error: unknown cluster {name!r}; valid: {', '.join(sorted(CLUSTERS))}"
+        ) from None
+
+
+def open_service(args) -> tuple[CBES, ProfileDatabase]:
+    """Service wired to the persistent database (calibrating if needed)."""
+    cluster = build_cluster(args.cluster)
+    service = CBES(cluster)
+    db = ProfileDatabase(args.db)
+    db.attach(service)
+    if not cluster.is_calibrated:
+        raise SystemExit(
+            f"error: cluster {cluster.name!r} is not calibrated in {args.db!r}; "
+            "run `calibrate` first"
+        )
+    return service, db
+
+
+# -- commands -----------------------------------------------------------
+def cmd_calibrate(args) -> int:
+    cluster = build_cluster(args.cluster)
+    service = CBES(cluster)
+    report = service.calibrate(seed=args.seed, noise=args.noise)
+    db = ProfileDatabase(args.db)
+    db.save_latency_model(cluster.name, cluster.latency_model)
+    low, high, spread = cluster.latency_model.spread(1024)
+    print(
+        f"calibrated {cluster.name}: {report.pair_benchmarks} pairs in "
+        f"{report.rounds} rounds ({report.parallel_speedup:.0f}x clique speedup)"
+    )
+    print(f"latency @1KB: {low * 1e6:.0f}..{high * 1e6:.0f} us (spread {spread * 100:.0f}%)")
+    print(f"stored system profile in {db.root}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    service, db = open_service(args)
+    app = make_app(args.app)
+    profile = service.profile_application(app, args.nprocs, seed=args.seed)
+    db.save_profile(profile)
+    comp, comm = profile.comp_comm_ratio
+    print(
+        f"profiled {app.name} on {args.nprocs} processes: "
+        f"computation {comp:.0%} / communication {comm:.0%}"
+    )
+    print(f"stored profile in {db.root}")
+    return 0
+
+
+def _pool(service: CBES, args) -> list[str]:
+    if args.arch:
+        return service.cluster.nodes_by_arch(args.arch)
+    return service.cluster.node_ids()
+
+
+def resolve_app_name(service: CBES, spec: str) -> str:
+    """Match a CLI app spec against stored profiles, case-insensitively."""
+    stored = service.profiled_applications
+    lowered = {name.lower(): name for name in stored}
+    try:
+        return lowered[spec.lower()]
+    except KeyError:
+        raise SystemExit(
+            f"error: no stored profile for {spec!r}; run `profile` first "
+            f"(have: {', '.join(stored) or 'none'})"
+        ) from None
+
+
+def cmd_schedule(args) -> int:
+    service, _ = open_service(args)
+    app_name = resolve_app_name(service, args.app)
+    scheduler = SCHEDULERS[args.scheduler]()
+    result = service.schedule(app_name, scheduler, _pool(service, args), seed=args.seed)
+    print(f"scheduler: {result.scheduler} ({result.evaluations} evaluations, "
+          f"{result.wall_time_s:.2f}s)")
+    print(f"predicted execution time: {result.predicted_time:.2f} s")
+    for rank, node in sorted(result.mapping.as_dict().items()):
+        print(f"  rank {rank} -> {node}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    service, _ = open_service(args)
+    nodes = args.nodes.split(",")
+    mapping = TaskMapping([n.strip() for n in nodes])
+    prediction = service.evaluator(resolve_app_name(service, args.app)).predict(mapping)
+    print(f"predicted execution time: {prediction.execution_time:.2f} s")
+    crit = prediction.breakdown(prediction.critical_rank)
+    print(
+        f"critical rank {prediction.critical_rank} on {crit.node_id}: "
+        f"R={crit.computation:.2f}s C={crit.communication:.2f}s"
+    )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    cluster = build_cluster(args.cluster)
+    db = ProfileDatabase(args.db)
+    print(f"cluster: {cluster}")
+    for arch_name in sorted(cluster.architectures()):
+        nodes = cluster.nodes_by_arch(arch_name)
+        print(f"  {arch_name}: {len(nodes)} nodes ({nodes[0]}..{nodes[-1]})")
+    print(f"system profile stored: {db.has_system_profile(cluster.name)}")
+    apps = db.applications()
+    print(f"stored application profiles: {', '.join(apps) if apps else '(none)'}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    print("== CBES demo: LU on Orange Grove ==")
+    cluster = orange_grove()
+    service = CBES(cluster)
+    report = service.calibrate(seed=1)
+    print(f"calibrated in {report.rounds} clique rounds")
+    app = LU("A")
+    service.profile_application(app, 8, seed=0)
+    pool = cluster.nodes_by_arch("alpha-533")
+    cs = service.schedule(app.name, CbesScheduler(), pool, seed=args.seed)
+    rs = service.schedule(app.name, RandomScheduler(), pool, seed=args.seed)
+    t_cs = service.simulator.run(
+        app.program(8), cs.mapping.as_dict(), seed=42, arch_affinity=app.arch_affinity
+    ).total_time
+    t_rs = service.simulator.run(
+        app.program(8), rs.mapping.as_dict(), seed=42, arch_affinity=app.arch_affinity
+    ).total_time
+    print(f"CS: predicted {cs.predicted_time:.1f}s, measured {t_cs:.1f}s")
+    print(f"RS: predicted {rs.predicted_time:.1f}s, measured {t_rs:.1f}s")
+    print(f"speedup from CBES scheduling: {(t_rs - t_cs) / t_rs * 100:.1f}%")
+    return 0
+
+
+# -- parser ---------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CBES reproduction: calibrate, profile, and schedule on simulated clusters.",
+    )
+    parser.add_argument("--db", default=".cbes-db", help="profile database directory")
+    parser.add_argument(
+        "--cluster", default="orange-grove", choices=sorted(CLUSTERS), help="target cluster"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("calibrate", help="run the off-line calibration phase")
+    p.add_argument("--noise", type=float, default=0.01, help="measurement noise sigma")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("profile", help="profile an application")
+    p.add_argument("app", help="application spec, e.g. lu.A, hpl.5000, aztec.500")
+    p.add_argument("--nprocs", type=int, default=8)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("schedule", help="pick a mapping for a profiled application")
+    p.add_argument("app")
+    p.add_argument("--scheduler", default="cs", choices=sorted(SCHEDULERS))
+    p.add_argument("--arch", default=None, help="restrict the pool to one architecture")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("predict", help="evaluate an explicit mapping")
+    p.add_argument("app")
+    p.add_argument("nodes", help="comma-separated node ids, rank order")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("inspect", help="show cluster facts and stored profiles")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("demo", help="end-to-end walkthrough")
+    p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

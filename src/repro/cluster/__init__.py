@@ -1,0 +1,38 @@
+"""Cluster hardware model: nodes, network fabric, latency calibration."""
+
+from repro.cluster.calibration import CalibrationReport, Calibrator, schedule_cliques
+from repro.cluster.cluster import Cluster
+from repro.cluster.latency import LatencyModel, PathComponents
+from repro.cluster.network import LinkSpec, NetworkFabric, SwitchSpec
+from repro.cluster.node import (
+    ALPHA_533,
+    INTEL_PII_400,
+    SPARC_500,
+    Architecture,
+    NICSpec,
+    Node,
+)
+from repro.cluster.topology import centurion, fat_star, federated, orange_grove, single_switch
+
+__all__ = [
+    "ALPHA_533",
+    "INTEL_PII_400",
+    "SPARC_500",
+    "Architecture",
+    "CalibrationReport",
+    "Calibrator",
+    "Cluster",
+    "LatencyModel",
+    "LinkSpec",
+    "NICSpec",
+    "NetworkFabric",
+    "Node",
+    "PathComponents",
+    "SwitchSpec",
+    "centurion",
+    "fat_star",
+    "federated",
+    "orange_grove",
+    "schedule_cliques",
+    "single_switch",
+]

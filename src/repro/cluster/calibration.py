@@ -1,0 +1,189 @@
+"""Off-line calibration of the cluster latency model.
+
+The paper's system-dedicated infrastructure runs, once per cluster, a
+set of end-to-end latency benchmarks between node pairs and fits the
+latency model from them.  Naively this is ``O(N^2)`` *sequential*
+benchmark runs; CBES reduces the wall-clock cost to ``O(N)`` rounds by
+scheduling the pair benchmarks in *cliques* — sets of pairs with no node
+in common — that can run concurrently without perturbing one another
+(the role of the paper's NWS "clique control" scripts).
+
+Here the "measurement" of one pair is the analytic fabric latency plus
+seeded multiplicative measurement noise; the per-pair components are
+recovered by an ordinary least-squares fit over a sweep of message
+sizes, exactly the way a real calibration would fit ``alpha + beta *
+size`` to ping-pong timings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import check_positive, spawn_rng
+from repro.cluster.latency import LatencyModel, PathComponents
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Node
+
+__all__ = ["CalibrationReport", "schedule_cliques", "Calibrator"]
+
+#: Default message sizes (bytes) swept by the pairwise benchmark.
+DEFAULT_SIZES: tuple[int, ...] = (64, 512, 4096, 32768, 131072, 524288)
+
+
+def schedule_cliques(hosts: Sequence[str]) -> list[list[tuple[str, str]]]:
+    """Partition all unordered host pairs into concurrency-safe rounds.
+
+    Uses the round-robin tournament (circle) method: with ``n`` hosts it
+    yields ``n - 1`` rounds (``n`` if odd) of ``n // 2`` pairs, and no
+    host appears twice within a round, so all benchmarks of a round can
+    run in parallel without interfering.  This is the ``O(N)`` rounds
+    property the paper relies on.
+    """
+    roster: list[str | None] = list(dict.fromkeys(hosts))
+    if len(roster) < 2:
+        raise ValueError("need at least two hosts to calibrate")
+    if len(roster) % 2 == 1:
+        roster.append(None)  # bye
+    n = len(roster)
+    rounds: list[list[tuple[str, str]]] = []
+    order = list(roster)
+    for _ in range(n - 1):
+        pairs: list[tuple[str, str]] = []
+        for i in range(n // 2):
+            a, b = order[i], order[n - 1 - i]
+            if a is not None and b is not None:
+                pairs.append((a, b) if a <= b else (b, a))
+        rounds.append(pairs)
+        order = [order[0]] + [order[-1]] + order[1:-1]
+    return rounds
+
+
+@dataclass
+class CalibrationReport:
+    """Outcome of a calibration run."""
+
+    model: LatencyModel
+    rounds: int
+    pair_benchmarks: int
+    sequential_benchmarks: int
+    sizes: tuple[int, ...]
+    max_fit_residual: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Wall-clock rounds saved by clique scheduling (>= 1)."""
+        return self.sequential_benchmarks / max(self.rounds, 1)
+
+
+class Calibrator:
+    """Runs the simulated off-line calibration for a cluster fabric.
+
+    Parameters
+    ----------
+    fabric, nodes:
+        The physical system being calibrated.
+    noise:
+        Relative standard deviation of the simulated timing noise per
+        measurement (default 1 %); set to 0 for an exact fit.
+    repetitions:
+        Ping-pong repetitions averaged per (pair, size) sample.
+    """
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        nodes: Mapping[str, Node],
+        *,
+        noise: float = 0.01,
+        repetitions: int = 5,
+        seed: int = 0,
+    ) -> None:
+        fabric.validate()
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self._fabric = fabric
+        self._nodes = dict(nodes)
+        self._noise = float(noise)
+        self._repetitions = int(repetitions)
+        self._seed = int(seed)
+
+    def _measure(self, src: str, dst: str, size: int, rng: np.random.Generator) -> float:
+        """One simulated ping-pong sample: truth plus measurement noise."""
+        truth = LatencyModel.analytic_components(self._fabric, self._nodes, src, dst).no_load(size)
+        if self._noise == 0.0:
+            return truth
+        samples = truth * rng.normal(1.0, self._noise, size=self._repetitions)
+        return float(np.abs(samples).mean())
+
+    def _fit_pair(self, src: str, dst: str, sizes: Sequence[int]) -> tuple[PathComponents, float]:
+        """Weighted least-squares fit of ``alpha + beta * size`` for one pair.
+
+        Rows are weighted by ``1 / y`` so the fit minimises *relative*
+        error; without this the large-message samples (milliseconds)
+        would swamp the small-message alpha (tens of microseconds).
+        """
+        rng = spawn_rng(self._seed, "calibrate", src, dst)
+        xs = np.asarray(sizes, dtype=float)
+        ys = np.array([self._measure(src, dst, int(s), rng) for s in sizes])
+        design = np.column_stack([np.ones_like(xs), xs])
+        weights = 1.0 / ys
+        (alpha, beta), *_ = np.linalg.lstsq(design * weights[:, None], np.ones_like(ys), rcond=None)
+        alpha = max(float(alpha), 0.0)
+        beta = max(float(beta), 0.0)
+        residual = float(np.abs((design @ np.array([alpha, beta]) - ys) / ys).max())
+        # The fit can only observe the total alpha; split it between the
+        # endpoints proportionally to their NIC overheads so that the
+        # load adjustment applies to the right endpoint share.
+        o_src = self._nodes[src].nic.send_overhead_s
+        o_dst = self._nodes[dst].nic.send_overhead_s
+        endpoint = min(alpha, o_src + o_dst)
+        share_src = endpoint * o_src / (o_src + o_dst)
+        share_dst = endpoint * o_dst / (o_src + o_dst)
+        comps = PathComponents(
+            alpha_src=share_src, alpha_dst=share_dst, alpha_net=alpha - endpoint, beta=beta
+        )
+        return comps, residual
+
+    def calibrate(self, sizes: Sequence[int] = DEFAULT_SIZES) -> CalibrationReport:
+        """Run the full clique-scheduled calibration and fit the model."""
+        for s in sizes:
+            check_positive(s, "message size")
+        hosts = sorted(self._fabric.hosts)
+        rounds = schedule_cliques(hosts)
+        comps: dict[tuple[str, str], PathComponents] = {}
+        worst = 0.0
+        pair_count = 0
+        for clique in rounds:
+            # All pairs in a clique run concurrently; they share no node,
+            # so their measurements are independent by construction.
+            for a, b in clique:
+                pair_count += 1
+                fitted, residual = self._fit_pair(a, b, sizes)
+                worst = max(worst, residual)
+                comps[(a, b)] = fitted
+                # The reverse direction swaps the endpoint components.
+                comps[(b, a)] = PathComponents(
+                    alpha_src=fitted.alpha_dst,
+                    alpha_dst=fitted.alpha_src,
+                    alpha_net=fitted.alpha_net,
+                    beta=fitted.beta,
+                )
+        report = CalibrationReport(
+            model=LatencyModel(comps),
+            rounds=len(rounds),
+            pair_benchmarks=pair_count,
+            sequential_benchmarks=pair_count,
+            sizes=tuple(int(s) for s in sizes),
+            max_fit_residual=worst,
+        )
+        report.notes.append(
+            f"clique scheduling: {pair_count} pair benchmarks in {len(rounds)} rounds "
+            f"({report.parallel_speedup:.1f}x wall-clock reduction)"
+        )
+        return report

@@ -1,0 +1,130 @@
+"""Cluster facade: nodes + fabric + latency model in one object."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.cluster.calibration import CalibrationReport, Calibrator
+from repro.cluster.latency import LatencyModel
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Architecture, Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A heterogeneous cluster as seen by CBES.
+
+    Combines the static hardware description (nodes and network fabric)
+    with the calibrated latency model.  The dynamic resource state
+    (loads) lives on the :class:`~repro.cluster.node.Node` objects and
+    is sampled by the monitoring subsystem.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Mapping[str, Node] | Iterable[Node],
+        fabric: NetworkFabric,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("cluster name must be nonempty")
+        if isinstance(nodes, Mapping):
+            node_map = dict(nodes)
+        else:
+            node_map = {n.node_id: n for n in nodes}
+        if not node_map:
+            raise ValueError("cluster must have at least one node")
+        missing = set(node_map) - set(fabric.hosts)
+        if missing:
+            raise ValueError(f"nodes not present in fabric: {sorted(missing)}")
+        extra = set(fabric.hosts) - set(node_map)
+        if extra:
+            raise ValueError(f"fabric hosts without node objects: {sorted(extra)}")
+        fabric.validate()
+        self.name = name
+        self._nodes = node_map
+        self._fabric = fabric
+        self._latency = latency_model
+        for node in node_map.values():
+            node.switch = fabric.switch_of(node.node_id)
+
+    # -- structure ----------------------------------------------------
+    @property
+    def nodes(self) -> dict[str, Node]:
+        return dict(self._nodes)
+
+    @property
+    def fabric(self) -> NetworkFabric:
+        return self._fabric
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def node_ids(self) -> list[str]:
+        """All node ids, sorted (deterministic iteration order)."""
+        return sorted(self._nodes)
+
+    def architectures(self) -> dict[str, Architecture]:
+        """Distinct architectures present, keyed by name."""
+        return {n.arch.name: n.arch for n in self._nodes.values()}
+
+    def nodes_by_arch(self, arch: Architecture | str) -> list[str]:
+        """Node ids of one architecture, sorted."""
+        name = arch if isinstance(arch, str) else arch.name
+        found = sorted(nid for nid, n in self._nodes.items() if n.arch.name == name)
+        if not found:
+            raise KeyError(f"no nodes of architecture {name!r}")
+        return found
+
+    def nodes_by_switch(self, switch_id: str) -> list[str]:
+        """Node ids wired to one edge switch, sorted."""
+        found = sorted(nid for nid, n in self._nodes.items() if n.switch == switch_id)
+        if not found:
+            raise KeyError(f"no nodes on switch {switch_id!r}")
+        return found
+
+    # -- latency model -------------------------------------------------
+    @property
+    def latency_model(self) -> LatencyModel:
+        if self._latency is None:
+            raise RuntimeError(
+                f"cluster {self.name!r} has not been calibrated; call calibrate() first"
+            )
+        return self._latency
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._latency is not None
+
+    def calibrate(self, *, noise: float = 0.01, seed: int = 0) -> CalibrationReport:
+        """Run the off-line calibration phase and install the model."""
+        report = Calibrator(self._fabric, self._nodes, noise=noise, seed=seed).calibrate()
+        self._latency = report.model
+        return report
+
+    def use_exact_latency_model(self) -> None:
+        """Install the exact analytic model (noise-free calibration)."""
+        self._latency = LatencyModel.from_fabric(self._fabric, self._nodes)
+
+    # -- dynamic state --------------------------------------------------
+    def clear_loads(self) -> None:
+        """Reset all background CPU/NIC loads and load schedules."""
+        for node in self._nodes.values():
+            node.set_background_load(0.0)
+            node.set_nic_load(0.0)
+            node.set_load_schedule(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        archs = ", ".join(
+            f"{len(self.nodes_by_arch(a))}x{a}" for a in sorted(self.architectures())
+        )
+        return f"Cluster({self.name!r}, {self.size} nodes: {archs})"

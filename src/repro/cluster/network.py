@@ -1,0 +1,180 @@
+"""Switched-network fabric model.
+
+The fabric is an undirected graph (networkx) whose vertices are host
+NICs and switches and whose edges are physical links with a bandwidth
+and a propagation/forwarding latency.  The CBES latency model
+(:mod:`repro.cluster.latency`) is *derived from* this fabric during the
+calibration phase, exactly as the paper derives its end-to-end latency
+model from off-line benchmark runs on the real wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import networkx as nx
+
+from repro._util import check_positive
+
+__all__ = ["SwitchSpec", "LinkSpec", "NetworkFabric"]
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """A store-and-forward switch.
+
+    ``forward_latency_s`` is the per-frame forwarding delay added for
+    every traversal of the switch; cheap edge switches (the paper's
+    DLink 8-ports) have noticeably higher forwarding latency than the
+    3Com units, which is one of the sources of the latency heterogeneity
+    CBES exploits.
+    """
+
+    switch_id: str
+    nports: int
+    forward_latency_s: float = 6e-6
+    backplane_bps: float = 2.4e9
+
+    def __post_init__(self) -> None:
+        if not self.switch_id:
+            raise ValueError("switch_id must be nonempty")
+        if self.nports < 1:
+            raise ValueError("nports must be >= 1")
+        check_positive(self.forward_latency_s, "forward_latency_s")
+        check_positive(self.backplane_bps, "backplane_bps")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A physical link between two fabric elements."""
+
+    bandwidth_bps: float = 100e6
+    latency_s: float = 0.5e-6
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_bps, "bandwidth_bps")
+        check_positive(self.latency_s, "latency_s")
+
+
+class NetworkFabric:
+    """The physical interconnect: hosts, switches, and links.
+
+    Hosts and switches share one identifier namespace; adding a host and
+    a switch with the same id is an error.  Paths between hosts are
+    shortest paths weighted by hop count (ties broken deterministically
+    by networkx), matching flat switched-ethernet forwarding.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._switches: dict[str, SwitchSpec] = {}
+        self._hosts: set[str] = set()
+        self._path_cache = lru_cache(maxsize=65536)(self._shortest_path)
+
+    # -- construction ------------------------------------------------
+    def add_switch(self, spec: SwitchSpec) -> None:
+        """Register a switch vertex."""
+        if spec.switch_id in self._graph:
+            raise ValueError(f"fabric element {spec.switch_id!r} already exists")
+        self._switches[spec.switch_id] = spec
+        self._graph.add_node(spec.switch_id, kind="switch")
+        self._path_cache.cache_clear()
+
+    def add_host(self, host_id: str) -> None:
+        """Register a host (node NIC) vertex."""
+        if host_id in self._graph:
+            raise ValueError(f"fabric element {host_id!r} already exists")
+        self._hosts.add(host_id)
+        self._graph.add_node(host_id, kind="host")
+        self._path_cache.cache_clear()
+
+    def connect(self, a: str, b: str, link: LinkSpec | None = None) -> None:
+        """Wire two fabric elements together with *link* (default 100 Mb)."""
+        for end in (a, b):
+            if end not in self._graph:
+                raise KeyError(f"unknown fabric element {end!r}")
+        if a == b:
+            raise ValueError("cannot connect an element to itself")
+        used = self.ports_used(a)
+        if a in self._switches and used >= self._switches[a].nports:
+            raise ValueError(f"switch {a!r} has no free ports ({used}/{self._switches[a].nports})")
+        used_b = self.ports_used(b)
+        if b in self._switches and used_b >= self._switches[b].nports:
+            raise ValueError(f"switch {b!r} has no free ports ({used_b}/{self._switches[b].nports})")
+        self._graph.add_edge(a, b, link=link or LinkSpec())
+        self._path_cache.cache_clear()
+
+    # -- queries -----------------------------------------------------
+    @property
+    def hosts(self) -> frozenset[str]:
+        return frozenset(self._hosts)
+
+    @property
+    def switches(self) -> dict[str, SwitchSpec]:
+        return dict(self._switches)
+
+    def ports_used(self, element: str) -> int:
+        """Number of links currently attached to *element*."""
+        if element not in self._graph:
+            raise KeyError(f"unknown fabric element {element!r}")
+        return self._graph.degree(element)
+
+    def is_switch(self, element: str) -> bool:
+        return element in self._switches
+
+    def validate(self) -> None:
+        """Check the fabric is usable: connected, hosts on switches only.
+
+        Raises ``ValueError`` describing the first problem found.
+        """
+        if not self._hosts:
+            raise ValueError("fabric has no hosts")
+        if not nx.is_connected(self._graph):
+            raise ValueError("fabric is not connected")
+        for host in self._hosts:
+            neighbours = list(self._graph.neighbors(host))
+            if len(neighbours) != 1:
+                raise ValueError(f"host {host!r} must have exactly one uplink, has {len(neighbours)}")
+            if neighbours[0] not in self._switches:
+                raise ValueError(f"host {host!r} must be wired to a switch, not {neighbours[0]!r}")
+
+    def _shortest_path(self, src: str, dst: str) -> tuple[str, ...]:
+        return tuple(nx.shortest_path(self._graph, src, dst))
+
+    def path(self, src: str, dst: str) -> tuple[str, ...]:
+        """Shortest forwarding path between two hosts (inclusive)."""
+        for end in (src, dst):
+            if end not in self._hosts:
+                raise KeyError(f"unknown host {end!r}")
+        return self._path_cache(src, dst)
+
+    def path_links(self, src: str, dst: str) -> list[tuple[str, str, LinkSpec]]:
+        """Links traversed on the forwarding path from *src* to *dst*."""
+        verts = self.path(src, dst)
+        return [(a, b, self._graph.edges[a, b]["link"]) for a, b in zip(verts, verts[1:])]
+
+    def path_switches(self, src: str, dst: str) -> list[SwitchSpec]:
+        """Switches traversed on the forwarding path (in order)."""
+        return [self._switches[v] for v in self.path(src, dst) if v in self._switches]
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        """Minimum link bandwidth along the forwarding path in bits/s."""
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        return min(link.bandwidth_bps for _, _, link in self.path_links(src, dst))
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Number of links on the forwarding path."""
+        return len(self.path(src, dst)) - 1
+
+    def switch_of(self, host: str) -> str:
+        """The edge switch *host* is wired to."""
+        if host not in self._hosts:
+            raise KeyError(f"unknown host {host!r}")
+        return next(iter(self._graph.neighbors(host)))
+
+    @property
+    def graph(self) -> nx.Graph:
+        """Read-only view of the underlying graph (do not mutate)."""
+        return self._graph

@@ -1,0 +1,169 @@
+"""Node and hardware models for heterogeneous clusters.
+
+A :class:`Node` carries the *static* hardware description (architecture,
+CPU count, clock, NIC) plus the *dynamic* resource state that the CBES
+monitoring subsystem tracks: CPU availability (``ACPU`` in the paper,
+0–100 %) and NIC utilisation.  The dynamic state is mutated only by the
+monitoring/load subsystems; the mapping evaluator reads it through a
+:class:`repro.core.snapshot.SystemSnapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction, check_positive
+
+__all__ = ["Architecture", "NICSpec", "Node", "ALPHA_533", "INTEL_PII_400", "SPARC_500"]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A processor architecture with a nominal scalar compute speed.
+
+    ``base_speed`` is in abstract work units per second.  It only has
+    meaning relative to other architectures: the paper's formulation
+    (eq. 5) uses the *ratio* ``Speed_profile / Speed_j``, optionally
+    refined by per-application measured speed ratios stored in the
+    application profile.
+    """
+
+    name: str
+    base_speed: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("architecture name must be nonempty")
+        check_positive(self.base_speed, "base_speed")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The three architectures present in the paper's testbeds.  Base speeds
+#: are in abstract work units per second (1.0 = PII-400 per-CPU rate on
+#: the original scale); the relative magnitudes are chosen so that the
+#: figure-6 execution-time zones land where the paper measured them
+#: (medium zone ~13-18 % above high, low zone ~50-60 % above high).
+ALPHA_533 = Architecture("alpha-533", base_speed=1.30, description="Alpha 21164 533 MHz, Alpha Linux")
+INTEL_PII_400 = Architecture("pii-400", base_speed=1.15, description="Intel Pentium II 400 MHz (dual), x86 Linux")
+SPARC_500 = Architecture("sparc-500", base_speed=0.90, description="UltraSPARC 500 MHz, Solaris")
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """Network interface description.
+
+    ``bandwidth_bps`` is the line rate; ``send_overhead_s`` is the
+    per-message host-side processing cost at each endpoint (the part of
+    end-to-end latency that scales with endpoint CPU load).
+    """
+
+    bandwidth_bps: float = 100e6
+    send_overhead_s: float = 25e-6
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_bps, "bandwidth_bps")
+        check_positive(self.send_overhead_s, "send_overhead_s")
+
+
+@dataclass
+class Node:
+    """A cluster node: static hardware spec plus dynamic resource state.
+
+    Parameters
+    ----------
+    node_id:
+        Unique, hashable identifier (e.g. ``"og-a03"``).
+    arch:
+        Processor :class:`Architecture`.
+    ncpus:
+        Number of CPUs; up to ``ncpus`` application processes run at
+        full speed before timesharing kicks in.
+    nic:
+        NIC specification.
+    switch:
+        Identifier of the switch this node's NIC is wired to (filled in
+        by the topology builders; used for locality queries).
+    """
+
+    node_id: str
+    arch: Architecture
+    ncpus: int = 1
+    nic: NICSpec = field(default_factory=NICSpec)
+    switch: str | None = None
+    # Dynamic state -------------------------------------------------
+    background_load: float = 0.0  # fraction of one CPU consumed by other work
+    nic_load: float = 0.0  # fraction of NIC bandwidth consumed by other traffic
+    #: Optional time-varying load: (start_time_s, background_load)
+    #: breakpoints applied during simulated runs (see
+    #: :class:`repro.simulate.timeline.LoadTimeline`).  ``None`` means
+    #: the static ``background_load`` holds throughout.
+    load_schedule: list[tuple[float, float]] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be nonempty")
+        if self.ncpus < 1:
+            raise ValueError(f"ncpus must be >= 1, got {self.ncpus}")
+        if self.background_load < 0:
+            raise ValueError("background_load must be >= 0")
+        check_fraction(self.nic_load, "nic_load")
+
+    # -- dynamic state ----------------------------------------------
+    def set_background_load(self, load: float) -> None:
+        """Set the background CPU load in CPU-equivalents (>= 0).
+
+        Values above 1 mean more than one CPU's worth of competing
+        work (meaningful on multi-CPU nodes, or oversubscription).
+        """
+        if load < 0:
+            raise ValueError("background_load must be >= 0")
+        self.background_load = float(load)
+
+    def set_load_schedule(self, schedule: list[tuple[float, float]] | None) -> None:
+        """Install (or clear) a time-varying load schedule.
+
+        Each entry is ``(start_time_s, background_load)``; the schedule
+        takes effect during simulated runs, overriding the static
+        ``background_load`` from each breakpoint on.
+        """
+        if schedule is not None:
+            for t, load in schedule:
+                if t < 0 or load < 0:
+                    raise ValueError("schedule times and loads must be >= 0")
+        self.load_schedule = None if schedule is None else sorted(schedule)
+
+    def set_nic_load(self, load: float) -> None:
+        """Set the background NIC utilisation (0–1)."""
+        self.nic_load = check_fraction(load, "nic_load")
+
+    @property
+    def cpu_availability(self) -> float:
+        """Current ``ACPU`` for a newly placed process (0–1].
+
+        With ``b`` background load on an ``n``-CPU node, one incoming
+        process sees the fraction of a CPU that fair timesharing would
+        grant it: if total demand (background + 1) fits within ``n``
+        CPUs the process runs unimpeded, otherwise it receives its fair
+        share ``n / (b + 1)`` of a CPU.
+        """
+        demand = self.background_load + 1.0
+        if demand <= self.ncpus:
+            return 1.0
+        return self.ncpus / demand
+
+    def speed_for(self, speed_ratios: dict[str, float] | None = None) -> float:
+        """Effective nominal speed of this node for an application.
+
+        ``speed_ratios`` maps architecture name to the application's
+        measured relative speed on that architecture (the paper's
+        footnote 1); when absent the architecture base speed is used.
+        """
+        if speed_ratios and self.arch.name in speed_ratios:
+            return check_positive(speed_ratios[self.arch.name], f"speed_ratios[{self.arch.name}]")
+        return self.arch.base_speed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.node_id}({self.arch.name} x{self.ncpus})"

@@ -1,0 +1,44 @@
+"""CBES core: mappings, the evaluation operation, and the service facade."""
+
+from repro.core.colocation import ClusterReservations, Reservation
+from repro.core.errors import (
+    CbesError,
+    InvalidMappingError,
+    NotCalibratedError,
+    UnknownProfileError,
+)
+from repro.core.evaluation import (
+    EvaluationOptions,
+    MappingEvaluator,
+    MappingPrediction,
+    ProcessPrediction,
+)
+from repro.core.mapping import TaskMapping
+from repro.core.remap import RemapAdvisor, RemapCostModel, RemapDecision
+from repro.core.runtime import RemapTrigger, RunningApplication, RuntimeScheduler
+from repro.core.segments import SegmentPlan, SegmentScheduler
+from repro.core.service import CBES, ApplicationModel
+
+__all__ = [
+    "CBES",
+    "ApplicationModel",
+    "CbesError",
+    "ClusterReservations",
+    "EvaluationOptions",
+    "InvalidMappingError",
+    "MappingEvaluator",
+    "MappingPrediction",
+    "NotCalibratedError",
+    "ProcessPrediction",
+    "RemapAdvisor",
+    "RemapCostModel",
+    "RemapDecision",
+    "RemapTrigger",
+    "Reservation",
+    "RunningApplication",
+    "RuntimeScheduler",
+    "SegmentPlan",
+    "SegmentScheduler",
+    "TaskMapping",
+    "UnknownProfileError",
+]

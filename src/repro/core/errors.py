@@ -1,0 +1,21 @@
+"""Exception types of the CBES core."""
+
+from __future__ import annotations
+
+__all__ = ["CbesError", "UnknownProfileError", "InvalidMappingError", "NotCalibratedError"]
+
+
+class CbesError(Exception):
+    """Base class for CBES service errors."""
+
+
+class UnknownProfileError(CbesError, KeyError):
+    """Raised when a mapping comparison names an unregistered application."""
+
+
+class InvalidMappingError(CbesError, ValueError):
+    """Raised when a mapping does not satisfy the evaluation preconditions."""
+
+
+class NotCalibratedError(CbesError, RuntimeError):
+    """Raised when the service is used before system calibration."""

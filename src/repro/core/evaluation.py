@@ -1,0 +1,220 @@
+"""The mapping evaluation operation (paper section 3, eqs. 4–8).
+
+For a mapping ``M`` the predicted execution time is
+
+.. math::  S_M = \\max_i (R_i + C_i)
+
+with the computation term (eq. 5)
+
+.. math::  R_i = (X_i + O_i) \\cdot \\frac{Speed_{profile_j}}{Speed_j}
+           \\cdot \\frac{1}{ACPU_j}
+
+and the communication term (eq. 8) ``C_i = Theta_i^M * lambda_i``,
+where ``Theta_i^M`` (eq. 6) sums ``count * L_c(...)`` over the
+process's message groups under the candidate mapping and ``lambda_i``
+(eq. 7) is the profile's overlap/overhead correction factor.
+
+``MappingEvaluator`` exposes toggles for the two CBES ablations studied
+here (and used by the NCS scheduler of section 6): dropping the
+communication term entirely, dropping the lambda correction, and using
+no-load rather than load-adjusted latencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+
+from repro.cluster.latency import LatencyModel
+from repro.cluster.node import Node
+from repro.core.errors import InvalidMappingError
+from repro.core.mapping import TaskMapping
+from repro.monitoring.snapshot import SystemSnapshot
+from repro.profiling.profile import ApplicationProfile, theta
+
+__all__ = ["EvaluationOptions", "ProcessPrediction", "MappingPrediction", "MappingEvaluator"]
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Which terms of the cost formula to include."""
+
+    #: Include the communication term C_i (False reproduces NCS).
+    communication: bool = True
+    #: Apply the lambda_i correction of eq. (7) (ablation knob).
+    use_lambda: bool = True
+    #: Use load-adjusted latencies L_c; False falls back to no-load L_0.
+    load_adjusted_latency: bool = True
+    #: Account for CPU availability (the 1/ACPU_j factor of eq. 5).
+    cpu_availability: bool = True
+
+
+@dataclass(frozen=True)
+class ProcessPrediction:
+    """Per-process contribution to a mapping's predicted time."""
+
+    rank: int
+    node_id: str
+    computation: float  # R_i
+    communication: float  # C_i
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.communication
+
+
+@dataclass(frozen=True)
+class MappingPrediction:
+    """Result of evaluating one mapping."""
+
+    mapping: TaskMapping
+    processes: tuple[ProcessPrediction, ...]
+
+    @property
+    def execution_time(self) -> float:
+        """``S_M``: the predicted application execution time (eq. 4)."""
+        return max(p.total for p in self.processes)
+
+    @property
+    def critical_rank(self) -> int:
+        """``i_M``: the process that defines the execution time."""
+        return max(self.processes, key=lambda p: (p.total, -p.rank)).rank
+
+    def breakdown(self, rank: int) -> ProcessPrediction:
+        if not 0 <= rank < len(self.processes):
+            raise ValueError(f"rank {rank} out of range")
+        return self.processes[rank]
+
+
+class MappingEvaluator:
+    """Evaluates candidate mappings for one profiled application.
+
+    Parameters
+    ----------
+    profile:
+        The application profile (from the profiling subsystem).
+    latency_model:
+        The *calibrated* cluster latency model.
+    nodes:
+        Static node table of the cluster (hardware description).
+    snapshot:
+        Current resource availability (from the monitoring subsystem).
+    options:
+        Term toggles; defaults give the full CBES formula.
+    """
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        latency_model: LatencyModel,
+        nodes: MappingABC[str, Node],
+        snapshot: SystemSnapshot,
+        options: EvaluationOptions = EvaluationOptions(),
+    ) -> None:
+        self._profile = profile
+        self._latency = latency_model
+        self._nodes = nodes
+        self._snapshot = snapshot
+        self._options = options
+        self._evaluations = 0
+
+    @property
+    def profile(self) -> ApplicationProfile:
+        return self._profile
+
+    @property
+    def options(self) -> EvaluationOptions:
+        return self._options
+
+    @property
+    def evaluations(self) -> int:
+        """Number of predict() calls served (scheduler cost metric)."""
+        return self._evaluations
+
+    def with_snapshot(self, snapshot: SystemSnapshot) -> "MappingEvaluator":
+        """A copy bound to fresher monitoring data."""
+        return MappingEvaluator(self._profile, self._latency, self._nodes, snapshot, self._options)
+
+    def with_options(self, options: EvaluationOptions) -> "MappingEvaluator":
+        return MappingEvaluator(self._profile, self._latency, self._nodes, self._snapshot, options)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, mapping: TaskMapping, *, options: EvaluationOptions | None = None
+    ) -> MappingPrediction:
+        """Predict the application's execution time under *mapping*.
+
+        *options* overrides the evaluator's default term toggles for
+        this one call (used e.g. by the NCS scheduler, which anneals on
+        the computation-only energy but reports full predictions).
+        """
+        prof = self._profile
+        if mapping.nprocs != prof.nprocs:
+            raise InvalidMappingError(
+                f"mapping places {mapping.nprocs} processes but profile has {prof.nprocs}"
+            )
+        for node_id in mapping.nodes_used():
+            if node_id not in self._nodes:
+                raise InvalidMappingError(f"mapping uses unknown node {node_id!r}")
+        self._evaluations += 1
+        opts = options if options is not None else self._options
+        snapshot = self._snapshot
+        per_node = mapping.procs_per_node()
+        map_dict = mapping.as_dict()
+
+        # ACPU per used node, accounting for co-mapped processes.
+        acpu: dict[str, float] = {}
+        for node_id, nprocs_here in per_node.items():
+            acpu[node_id] = snapshot.acpu(node_id, nprocs_here) if opts.cpu_availability else 1.0
+
+        def latency_fn(src: str, dst: str, size: float) -> float:
+            if not opts.load_adjusted_latency:
+                return self._latency.no_load(src, dst, size)
+            return self._latency.current(
+                src,
+                dst,
+                size,
+                acpu_src=acpu.get(src) or snapshot.acpu(src),
+                acpu_dst=acpu.get(dst) or snapshot.acpu(dst),
+                nic_src=snapshot.nic_load(src),
+                nic_dst=snapshot.nic_load(dst),
+            )
+
+        predictions = []
+        for proc in prof.processes:
+            node = self._nodes[map_dict[proc.rank]]
+            speed_j = node.speed_for(prof.arch_speed_ratios)
+            speed_profile = prof.profile_speeds[proc.rank]
+            r_i = proc.compute_time * (speed_profile / speed_j) / acpu[node.node_id]
+            if opts.communication:
+                theta_m = theta(proc, map_dict, latency_fn)
+                c_i = theta_m * (proc.lam if opts.use_lambda else 1.0)
+            else:
+                c_i = 0.0
+            predictions.append(
+                ProcessPrediction(
+                    rank=proc.rank,
+                    node_id=node.node_id,
+                    computation=r_i,
+                    communication=c_i,
+                )
+            )
+        return MappingPrediction(mapping=mapping, processes=tuple(predictions))
+
+    def execution_time(
+        self, mapping: TaskMapping, *, options: EvaluationOptions | None = None
+    ) -> float:
+        """Shortcut: just ``S_M`` (the SA energy function)."""
+        return self.predict(mapping, options=options).execution_time
+
+    def compare(self, mappings: list[TaskMapping]) -> list[MappingPrediction]:
+        """Evaluate several candidate mappings, best (fastest) first.
+
+        This is the core module's *mapping comparison* request: the
+        client hands in candidate mappings, the service returns their
+        predicted execution times in increasing order.
+        """
+        if not mappings:
+            raise InvalidMappingError("compare() requires at least one mapping")
+        results = [self.predict(m) for m in mappings]
+        return sorted(results, key=lambda p: p.execution_time)

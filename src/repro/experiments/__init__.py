@@ -1,0 +1,59 @@
+"""Experiment harness and the paper's validation/scheduling studies."""
+
+from repro.experiments.harness import (
+    ExperimentContext,
+    Measurement,
+    full_scale,
+    repetitions,
+)
+from repro.experiments.mapping_space import (
+    MappingSignature,
+    group_by_signature,
+    representative_sample,
+    signature,
+)
+from repro.experiments.report import ascii_table, range_plot, text_histogram
+from repro.experiments.scheduling import (
+    AverageCaseResult,
+    WorstBestResult,
+    Zone,
+    average_case,
+    lu_zones,
+    sample_mapping_times,
+    worst_vs_best,
+)
+from repro.experiments.validation import (
+    LoadSensitivityPoint,
+    Phase1Config,
+    PredictionCase,
+    load_sensitivity,
+    phase1_sweep,
+    prediction_error_case,
+)
+
+__all__ = [
+    "AverageCaseResult",
+    "ExperimentContext",
+    "LoadSensitivityPoint",
+    "MappingSignature",
+    "Measurement",
+    "Phase1Config",
+    "PredictionCase",
+    "WorstBestResult",
+    "Zone",
+    "ascii_table",
+    "average_case",
+    "full_scale",
+    "group_by_signature",
+    "load_sensitivity",
+    "lu_zones",
+    "phase1_sweep",
+    "prediction_error_case",
+    "range_plot",
+    "repetitions",
+    "representative_sample",
+    "sample_mapping_times",
+    "signature",
+    "text_histogram",
+    "worst_vs_best",
+]

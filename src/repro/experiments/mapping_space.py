@@ -1,0 +1,128 @@
+"""Mapping-space structuring: signatures and representative samples.
+
+Section 6.1: *"To cover this mapping space we selected mappings with
+various analogies in node architecture and connectivity mix as
+representatives of mapping groups with approximately similar
+properties.  The selection process yielded approximately 100
+representative mapping cases."*
+
+This module implements that selection: a mapping's **signature**
+captures its architecture mix and its connectivity mix (how many
+process pairs share a switch, cross switches on the same federation
+side, or cross bottleneck links), mappings with equal signatures form a
+group, and :func:`representative_sample` draws one representative per
+group until the requested count is reached.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro._util import spawn_rng
+from repro.cluster.cluster import Cluster
+from repro.core.mapping import TaskMapping
+from repro.schedulers.base import MappingConstraint, random_mapping
+
+__all__ = ["MappingSignature", "signature", "representative_sample", "group_by_signature"]
+
+
+@dataclass(frozen=True, order=True)
+class MappingSignature:
+    """Equivalence-class key for mappings with similar properties."""
+
+    #: Sorted (architecture, count) pairs of the nodes used.
+    arch_mix: tuple[tuple[str, int], ...]
+    #: Sorted (switch-distance, count) pairs over all used node pairs,
+    #: where distance is the forwarding hop count between the nodes'
+    #: edge switches (0 = same switch).
+    connectivity_mix: tuple[tuple[int, int], ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arch = "+".join(f"{c}x{a}" for a, c in self.arch_mix)
+        conn = ",".join(f"d{d}:{c}" for d, c in self.connectivity_mix)
+        return f"{arch} [{conn}]"
+
+
+def signature(cluster: Cluster, mapping: TaskMapping) -> MappingSignature:
+    """The architecture/connectivity signature of one mapping."""
+    arch_counts = Counter(cluster.node(n).arch.name for n in mapping)
+    nodes = sorted(mapping.nodes_used())
+    fabric = cluster.fabric
+    dist_counts: Counter[int] = Counter()
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            sw_a, sw_b = fabric.switch_of(a), fabric.switch_of(b)
+            if sw_a == sw_b:
+                dist = 0
+            else:
+                # Hop count between edge switches = host path minus the
+                # two host links.
+                dist = fabric.hop_count(a, b) - 2
+            dist_counts[dist] += 1
+    return MappingSignature(
+        arch_mix=tuple(sorted(arch_counts.items())),
+        connectivity_mix=tuple(sorted(dist_counts.items())),
+    )
+
+
+def group_by_signature(
+    cluster: Cluster, mappings: Sequence[TaskMapping]
+) -> dict[MappingSignature, list[TaskMapping]]:
+    """Partition mappings into signature groups."""
+    groups: dict[MappingSignature, list[TaskMapping]] = {}
+    for mapping in mappings:
+        groups.setdefault(signature(cluster, mapping), []).append(mapping)
+    return groups
+
+
+def representative_sample(
+    cluster: Cluster,
+    pool: Sequence[str],
+    nprocs: int,
+    *,
+    count: int = 100,
+    constraint: MappingConstraint | None = None,
+    seed: int = 0,
+    oversample: int = 40,
+) -> list[TaskMapping]:
+    """Draw up to *count* mappings covering distinct signature groups.
+
+    Random candidates are generated (``count * oversample`` attempts);
+    the first representative of every new signature group is kept until
+    *count* groups are covered.  If the pool's signature diversity is
+    smaller than *count*, additional distinct mappings from the largest
+    groups fill the remainder, so the returned list always has *count*
+    entries when the space is large enough.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if oversample < 1:
+        raise ValueError("oversample must be >= 1")
+    rng = spawn_rng(seed, "repr-sample", tuple(pool), nprocs)
+    chosen: list[TaskMapping] = []
+    seen_signatures: set[MappingSignature] = set()
+    seen_mappings: set[TaskMapping] = set()
+    spare: list[TaskMapping] = []
+    for _ in range(count * oversample):
+        if len(chosen) >= count:
+            break
+        mapping = random_mapping(pool, nprocs, rng)
+        if constraint is not None and not constraint(mapping):
+            continue
+        if mapping in seen_mappings:
+            continue
+        seen_mappings.add(mapping)
+        sig = signature(cluster, mapping)
+        if sig in seen_signatures:
+            spare.append(mapping)
+            continue
+        seen_signatures.add(sig)
+        chosen.append(mapping)
+    # Top up from distinct-but-seen-signature mappings.
+    for mapping in spare:
+        if len(chosen) >= count:
+            break
+        chosen.append(mapping)
+    return chosen

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results (tables and figures).
+
+The paper's tables are reproduced as aligned ASCII tables and its
+figures as simple text plots, so every bench target can print the
+artifact it regenerates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "text_histogram", "range_plot"]
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    if not headers:
+        raise ValueError("headers must be nonempty")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("all rows must have one cell per header")
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def text_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 12,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """A horizontal ASCII histogram (figure-7 style distribution plot)."""
+    if not values:
+        raise ValueError("values must be nonempty")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be >= 1")
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1e-9
+    step = (high - low) / bins
+    counts = [0] * bins
+    for v in values:
+        idx = min(int((v - low) / step), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [label] if label else []
+    for i, count in enumerate(counts):
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        lines.append(f"{low + i * step:10.1f}..{low + (i + 1) * step:10.1f} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def range_plot(
+    groups: Sequence[tuple[str, float, float]],
+    *,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Figure-6 style plot: one min..max execution-time range per group."""
+    if not groups:
+        raise ValueError("groups must be nonempty")
+    low = min(g[1] for g in groups)
+    high = max(g[2] for g in groups)
+    if high == low:
+        high = low + 1e-9
+    span = high - low
+    name_w = max(len(g[0]) for g in groups)
+    lines = [label] if label else []
+    for name, lo, hi in groups:
+        if hi < lo:
+            raise ValueError(f"group {name!r} has max < min")
+        start = round((lo - low) / span * width)
+        end = max(round((hi - low) / span * width), start + 1)
+        bar = " " * start + "[" + "=" * (end - start) + "]"
+        lines.append(f"{name.ljust(name_w)} {bar}  {lo:.1f}..{hi:.1f} s")
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Scheduling experiments: worst-vs-best and average-case scenarios.
+
+Reproduces section 6 of the paper:
+
+* **zones** (figure 6): the three LU execution-time zones on Orange
+  Grove, corresponding to mappings over A, A+I and A+I+S node subsets;
+* **worst vs best** (tables 1 and 3): the extreme mappings found by
+  annealing the CBES cost function in both directions, measured;
+* **average case** (tables 2 and 4): many CS and NCS scheduling runs,
+  their hit rates, and expected (predicted) vs measured speedups.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro._util import spawn_rng
+from repro.cluster.cluster import Cluster
+from repro.core.mapping import TaskMapping
+from repro.core.service import ApplicationModel
+from repro.experiments.harness import ExperimentContext, Measurement
+from repro.schedulers.annealing import AnnealingSchedule
+from repro.schedulers.base import MappingConstraint, Scheduler, random_mapping
+from repro.schedulers.cs import CbesScheduler
+from repro.schedulers.ncs import NoCommScheduler
+
+__all__ = [
+    "Zone",
+    "lu_zones",
+    "WorstBestResult",
+    "worst_vs_best",
+    "AverageCaseResult",
+    "average_case",
+    "sample_mapping_times",
+]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A node subset defining one of the figure-6 execution-time zones."""
+
+    name: str
+    pool: tuple[str, ...]
+    #: Architecture names at least one node of which must appear in a
+    #: mapping for it to belong to this zone (empty: no requirement).
+    required_archs: tuple[str, ...] = ()
+
+    def constraint(self, cluster: Cluster) -> MappingConstraint | None:
+        if not self.required_archs:
+            return None
+        arch_of = {nid: node.arch.name for nid, node in cluster.nodes.items()}
+
+        def check(mapping: TaskMapping) -> bool:
+            present = {arch_of[n] for n in mapping.nodes_used()}
+            return all(a in present for a in self.required_archs)
+
+        return check
+
+
+def lu_zones(cluster: Cluster) -> dict[str, Zone]:
+    """The paper's three LU zones on Orange Grove.
+
+    ``high`` uses only Alpha nodes, ``medium`` mixes Alpha and Intel
+    (at least one Intel node, which is what pins the zone's speed),
+    ``low`` additionally involves SPARC nodes.
+    """
+    alphas = tuple(cluster.nodes_by_arch("alpha-533"))
+    intels = tuple(cluster.nodes_by_arch("pii-400"))
+    sparcs = tuple(cluster.nodes_by_arch("sparc-500"))
+    return {
+        "high": Zone("high", alphas),
+        "medium": Zone("medium", alphas + intels, required_archs=("pii-400",)),
+        "low": Zone("low", alphas + intels + sparcs, required_archs=("sparc-500",)),
+    }
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class WorstBestResult:
+    """One row of table 1 / table 3."""
+
+    case: str
+    worst: Measurement
+    best: Measurement
+    scheduler_time_s: float
+    worst_mapping: TaskMapping | None = None
+    best_mapping: TaskMapping | None = None
+
+    @property
+    def speedup_percent(self) -> float:
+        """(worst - best) / worst, as the paper reports it."""
+        if self.worst.mean <= 0:
+            return 0.0
+        return (self.worst.mean - self.best.mean) / self.worst.mean * 100.0
+
+    @property
+    def uncertain(self) -> bool:
+        """True when the CIs overlap: no significant speedup (the
+        paper's "uncertain speedup" annotations)."""
+        return self.best.mean + self.best.ci95 >= self.worst.mean - self.worst.ci95
+
+
+def worst_vs_best(
+    ctx: ExperimentContext,
+    app: ApplicationModel,
+    pool: Sequence[str],
+    *,
+    nprocs: int = 8,
+    constraint: MappingConstraint | None = None,
+    runs: int = 5,
+    seed: int = 0,
+    case: str = "",
+    schedule: AnnealingSchedule = AnnealingSchedule(),
+) -> WorstBestResult:
+    """Find and measure the extreme mappings of one test case.
+
+    The best mapping comes from CS; the worst from the same annealer
+    run in the maximizing direction (the paper's worst-case scenario is
+    "the slowest mapping a random scheduler could stumble into").
+    """
+    ctx.ensure_profiled(app, nprocs, seed=seed)
+    finder_best = CbesScheduler(schedule=schedule, constraint=constraint)
+    finder_worst = CbesScheduler(schedule=schedule, direction="maximize", constraint=constraint)
+    best_run = ctx.service.schedule(app.name, finder_best, list(pool), seed=seed)
+    worst_run = ctx.service.schedule(app.name, finder_worst, list(pool), seed=seed)
+    best = ctx.measure(app, best_run.mapping, runs=runs, seed=seed + 10_000)
+    worst = ctx.measure(app, worst_run.mapping, runs=runs, seed=seed + 20_000)
+    return WorstBestResult(
+        case=case or app.name,
+        worst=worst,
+        best=best,
+        scheduler_time_s=best_run.wall_time_s + worst_run.wall_time_s,
+        worst_mapping=worst_run.mapping,
+        best_mapping=best_run.mapping,
+    )
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class SchedulerAverage:
+    """Average-case statistics of one scheduler on one test case."""
+
+    scheduler: str
+    predicted: Measurement
+    measured: Measurement
+    hit_percent: float
+    predicted_times: list[float] = field(default_factory=list)
+    measured_times: list[float] = field(default_factory=list)
+
+
+@dataclass
+class AverageCaseResult:
+    """One row pair of table 2 / table 4."""
+
+    case: str
+    cs: SchedulerAverage
+    ncs: SchedulerAverage
+    best_known: float
+    worst_known: float
+
+    @property
+    def expected_speedup_percent(self) -> float:
+        """Speedup of CS over NCS on predicted times."""
+        if self.ncs.predicted.mean <= 0:
+            return 0.0
+        return (self.ncs.predicted.mean - self.cs.predicted.mean) / self.ncs.predicted.mean * 100.0
+
+    @property
+    def measured_speedup_percent(self) -> float:
+        """Speedup of CS over NCS on measured times."""
+        if self.ncs.measured.mean <= 0:
+            return 0.0
+        return (self.ncs.measured.mean - self.cs.measured.mean) / self.ncs.measured.mean * 100.0
+
+    @property
+    def maximum_speedup_percent(self) -> float:
+        """The worst-vs-best bound, for the table's last column."""
+        if self.worst_known <= 0:
+            return 0.0
+        return (self.worst_known - self.best_known) / self.worst_known * 100.0
+
+
+def average_case(
+    ctx: ExperimentContext,
+    app: ApplicationModel,
+    pool: Sequence[str],
+    *,
+    nprocs: int = 8,
+    constraint: MappingConstraint | None = None,
+    nruns: int = 100,
+    seed: int = 0,
+    case: str = "",
+    hit_tolerance: float = 0.01,
+    schedule: AnnealingSchedule = AnnealingSchedule(),
+) -> AverageCaseResult:
+    """Run CS and NCS *nruns* times each and compare their selections.
+
+    The hit percentage counts runs whose selected mapping measures
+    within *hit_tolerance* of the best time observed across all runs of
+    all schedulers (the paper's "selections of mappings with minimum
+    execution time").
+    """
+    if nruns < 1:
+        raise ValueError("nruns must be >= 1")
+    ctx.ensure_profiled(app, nprocs, seed=seed)
+    results: dict[str, tuple[list[float], list[float]]] = {}
+    for scheduler_cls, name in ((CbesScheduler, "CS"), (NoCommScheduler, "NCS")):
+        predicted: list[float] = []
+        measured: list[float] = []
+        for k in range(nruns):
+            run = ctx.service.schedule(
+                app.name,
+                scheduler_cls(schedule=schedule, constraint=constraint),
+                list(pool),
+                seed=seed + 31 * k,
+            )
+            predicted.append(run.predicted_time)
+            measured.append(ctx.measure(app, run.mapping, runs=1, seed=seed + 77 * k).mean)
+        results[name] = (predicted, measured)
+
+    all_measured = results["CS"][1] + results["NCS"][1]
+    best_known = min(all_measured)
+    worst_known = max(all_measured)
+
+    def stats(name: str) -> SchedulerAverage:
+        predicted, measured = results[name]
+        hits = sum(1 for t in measured if t <= best_known * (1.0 + hit_tolerance))
+        return SchedulerAverage(
+            scheduler=name,
+            predicted=Measurement.from_samples(predicted),
+            measured=Measurement.from_samples(measured),
+            hit_percent=hits / len(measured) * 100.0,
+            predicted_times=predicted,
+            measured_times=measured,
+        )
+
+    return AverageCaseResult(
+        case=case or app.name,
+        cs=stats("CS"),
+        ncs=stats("NCS"),
+        best_known=best_known,
+        worst_known=worst_known,
+    )
+
+
+# ---------------------------------------------------------------------------
+def sample_mapping_times(
+    ctx: ExperimentContext,
+    app: ApplicationModel,
+    zone: Zone,
+    *,
+    nprocs: int = 8,
+    samples: int = 30,
+    seed: int = 0,
+) -> list[float]:
+    """Measured times of representative mappings of one zone.
+
+    This is the figure-6 sampling: like the paper, mappings are chosen
+    as *representatives of mapping groups with approximately similar
+    properties* (architecture mix x connectivity mix signatures), one
+    measured run each.
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    # Imported here to avoid a module cycle (mapping_space uses the
+    # schedulers' random_mapping helper, like this module does).
+    from repro.experiments.mapping_space import representative_sample
+
+    ctx.ensure_profiled(app, nprocs, seed=seed)
+    cluster = ctx.service.cluster
+    mappings = representative_sample(
+        cluster,
+        list(zone.pool),
+        nprocs,
+        count=samples,
+        constraint=zone.constraint(cluster),
+        seed=seed,
+    )
+    if len(mappings) < samples:  # pragma: no cover - tiny zones only
+        rng = spawn_rng(seed, "zone-sample", zone.name)
+        while len(mappings) < samples:
+            mappings.append(random_mapping(list(zone.pool), nprocs, rng))
+    return [
+        ctx.measure(app, mapping, runs=1, seed=seed + 13 * k).mean
+        for k, mapping in enumerate(mappings)
+    ]

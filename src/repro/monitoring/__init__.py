@@ -1,0 +1,37 @@
+"""System monitoring: sensors, forecasting, snapshots, load injection."""
+
+from repro.monitoring.forecasting import (
+    AR1,
+    AdaptiveForecaster,
+    Ewma,
+    Forecaster,
+    LastValue,
+    SlidingMean,
+    SlidingMedian,
+    make_forecaster,
+)
+from repro.monitoring.load import LoadEvent, LoadGenerator
+from repro.monitoring.monitor import SystemMonitor
+from repro.monitoring.network import LatencySensor, NetworkMonitor
+from repro.monitoring.sensors import CpuSensor, NicSensor
+from repro.monitoring.snapshot import NodeState, SystemSnapshot
+
+__all__ = [
+    "AR1",
+    "AdaptiveForecaster",
+    "CpuSensor",
+    "Ewma",
+    "Forecaster",
+    "LastValue",
+    "LoadEvent",
+    "LatencySensor",
+    "LoadGenerator",
+    "NetworkMonitor",
+    "NicSensor",
+    "NodeState",
+    "SlidingMean",
+    "SlidingMedian",
+    "SystemMonitor",
+    "SystemSnapshot",
+    "make_forecaster",
+]

@@ -1,0 +1,201 @@
+"""Next-period forecasters for resource time series.
+
+The Centurion prototype uses NWS, whose distinguishing feature is
+next-period *forecasting* from the measurement history with the best of
+a family of simple predictors; the Orange Grove prototype simply takes
+the latest measurement as valid for the next period.  Both behaviours
+are available here, plus the usual NWS family members, so the
+forecasting ablation (bench_ablation_forecasting) can quantify what the
+choice is worth.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "SlidingMean",
+    "SlidingMedian",
+    "Ewma",
+    "AR1",
+    "AdaptiveForecaster",
+    "make_forecaster",
+]
+
+
+class Forecaster(ABC):
+    """Streaming one-step-ahead forecaster."""
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def update(self, value: float) -> None:
+        """Feed one new measurement."""
+        if not np.isfinite(value):
+            raise ValueError(f"measurement must be finite, got {value!r}")
+        self._observe(float(value))
+        self._n += 1
+
+    @property
+    def observations(self) -> int:
+        return self._n
+
+    @abstractmethod
+    def _observe(self, value: float) -> None: ...
+
+    @abstractmethod
+    def forecast(self) -> float:
+        """Predicted next value.  Raises if no measurement seen yet."""
+
+    def _require_data(self) -> None:
+        if self._n == 0:
+            raise RuntimeError(f"{type(self).__name__} has no measurements yet")
+
+
+class LastValue(Forecaster):
+    """The Orange Grove prototype: latest measurement is the forecast."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = 0.0
+
+    def _observe(self, value: float) -> None:
+        self._last = value
+
+    def forecast(self) -> float:
+        self._require_data()
+        return self._last
+
+
+class SlidingMean(Forecaster):
+    """Mean of the last *window* measurements."""
+
+    def __init__(self, window: int = 10) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._buf: deque[float] = deque(maxlen=window)
+
+    def _observe(self, value: float) -> None:
+        self._buf.append(value)
+
+    def forecast(self) -> float:
+        self._require_data()
+        return float(np.mean(self._buf))
+
+
+class SlidingMedian(Forecaster):
+    """Median of the last *window* measurements (robust to spikes)."""
+
+    def __init__(self, window: int = 10) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._buf: deque[float] = deque(maxlen=window)
+
+    def _observe(self, value: float) -> None:
+        self._buf.append(value)
+
+    def forecast(self) -> float:
+        self._require_data()
+        return float(np.median(self._buf))
+
+
+class Ewma(Forecaster):
+    """Exponentially weighted moving average."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._value = 0.0
+
+    def _observe(self, value: float) -> None:
+        if self._n == 0:
+            self._value = value
+        else:
+            self._value = self._alpha * value + (1.0 - self._alpha) * self._value
+
+    def forecast(self) -> float:
+        self._require_data()
+        return self._value
+
+
+class AR1(Forecaster):
+    """First-order autoregressive forecast fitted over a sliding window."""
+
+    def __init__(self, window: int = 20) -> None:
+        super().__init__()
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self._buf: deque[float] = deque(maxlen=window)
+
+    def _observe(self, value: float) -> None:
+        self._buf.append(value)
+
+    def forecast(self) -> float:
+        self._require_data()
+        data = np.asarray(self._buf)
+        if data.size < 3 or np.allclose(data, data[0]):
+            return float(data[-1])
+        x, y = data[:-1], data[1:]
+        var = float(np.var(x))
+        if var == 0.0:
+            return float(data[-1])
+        phi = float(np.cov(x, y, bias=True)[0, 1]) / var
+        phi = float(np.clip(phi, -1.0, 1.0))
+        mean = float(data.mean())
+        return mean + phi * (float(data[-1]) - mean)
+
+
+class AdaptiveForecaster(Forecaster):
+    """NWS-style ensemble: at each step, trust the member with the
+    lowest mean absolute one-step error so far."""
+
+    def __init__(self, members: list[Forecaster] | None = None) -> None:
+        super().__init__()
+        if members is None:
+            members = [LastValue(), SlidingMean(10), SlidingMedian(10), Ewma(0.3), AR1(20)]
+        if not members:
+            raise ValueError("need at least one member forecaster")
+        self._members = members
+        self._errors = [0.0] * len(self._members)
+
+    def _observe(self, value: float) -> None:
+        for i, member in enumerate(self._members):
+            if member.observations > 0:
+                self._errors[i] += abs(member.forecast() - value)
+            member.update(value)
+
+    def forecast(self) -> float:
+        self._require_data()
+        best = min(range(len(self._members)), key=lambda i: (self._errors[i], i))
+        return self._members[best].forecast()
+
+    @property
+    def best_member(self) -> Forecaster:
+        self._require_data()
+        best = min(range(len(self._members)), key=lambda i: (self._errors[i], i))
+        return self._members[best]
+
+
+def make_forecaster(kind: str) -> Forecaster:
+    """Factory by name: last-value | mean | median | ewma | ar1 | adaptive."""
+    factories = {
+        "last-value": LastValue,
+        "mean": SlidingMean,
+        "median": SlidingMedian,
+        "ewma": Ewma,
+        "ar1": AR1,
+        "adaptive": AdaptiveForecaster,
+    }
+    try:
+        return factories[kind]()
+    except KeyError:
+        raise ValueError(f"unknown forecaster kind {kind!r}; valid: {sorted(factories)}") from None

@@ -1,0 +1,88 @@
+"""Background load generation for experiments.
+
+The paper's third validation phase re-measures applications *after
+changing the load conditions* that the prediction was made under.  The
+:class:`LoadGenerator` provides the controlled way to do that to the
+simulated cluster: inject CPU-hog and traffic load on chosen (or
+randomly chosen) nodes, then restore.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro._util import check_fraction, spawn_rng
+from repro.cluster.cluster import Cluster
+
+__all__ = ["LoadEvent", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One injected load condition on one node."""
+
+    node_id: str
+    cpu_load: float = 0.0
+    nic_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_load < 0:
+            raise ValueError("cpu_load must be >= 0")
+        check_fraction(self.nic_load, "nic_load")
+
+
+class LoadGenerator:
+    """Injects and clears background load on a cluster."""
+
+    def __init__(self, cluster: Cluster, *, seed: int = 0) -> None:
+        self._cluster = cluster
+        self._seed = int(seed)
+
+    def apply(self, events: Iterable[LoadEvent]) -> list[LoadEvent]:
+        """Apply the given load events; returns the prior state events."""
+        previous = []
+        for event in events:
+            node = self._cluster.node(event.node_id)
+            previous.append(LoadEvent(event.node_id, node.background_load, node.nic_load))
+            node.set_background_load(event.cpu_load)
+            node.set_nic_load(event.nic_load)
+        return previous
+
+    def clear(self) -> None:
+        """Remove all background load from the cluster."""
+        self._cluster.clear_loads()
+
+    @contextmanager
+    def loaded(self, events: Iterable[LoadEvent]):
+        """Context manager: load applied inside, prior state restored after."""
+        previous = self.apply(list(events))
+        try:
+            yield self._cluster
+        finally:
+            self.apply(previous)
+
+    def random_events(
+        self,
+        count: int,
+        *,
+        cpu_range: tuple[float, float] = (0.1, 0.5),
+        nic_range: tuple[float, float] = (0.0, 0.0),
+        nodes: Sequence[str] | None = None,
+        stream: str = "load",
+    ) -> list[LoadEvent]:
+        """Draw *count* random load events on distinct nodes (seeded)."""
+        pool = list(nodes) if nodes is not None else self._cluster.node_ids()
+        if count > len(pool):
+            raise ValueError(f"cannot load {count} distinct nodes out of {len(pool)}")
+        if cpu_range[0] > cpu_range[1] or nic_range[0] > nic_range[1]:
+            raise ValueError("ranges must be (low, high) with low <= high")
+        rng = spawn_rng(self._seed, stream, count)
+        chosen = rng.choice(len(pool), size=count, replace=False)
+        events = []
+        for idx in chosen:
+            cpu = float(rng.uniform(*cpu_range))
+            nic = float(rng.uniform(*nic_range))
+            events.append(LoadEvent(pool[int(idx)], cpu_load=cpu, nic_load=nic))
+        return events

@@ -1,0 +1,68 @@
+"""Resource sensors: noisy measurements of node CPU and NIC load.
+
+A sensor reads the *true* dynamic state of a simulated node (the role
+of the NWS CPU sensor / the CBES MPI and network-availability sensors)
+and returns it with seeded measurement noise, so monitoring sees a
+realistic approximation of reality rather than the ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import spawn_rng
+from repro.cluster.node import Node
+
+__all__ = ["CpuSensor", "NicSensor"]
+
+
+class _NoisySensor:
+    """Shared machinery: additive Gaussian noise, clipped to validity."""
+
+    def __init__(self, node: Node, *, noise: float = 0.01, seed: int = 0, stream: str = "") -> None:
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        self._node = node
+        self._noise = float(noise)
+        self._rng = spawn_rng(seed, "sensor", stream, node.node_id)
+        self._reads = 0
+
+    @property
+    def node(self) -> Node:
+        return self._node
+
+    @property
+    def reads(self) -> int:
+        return self._reads
+
+    def _noisy(self, truth: float, upper: float | None) -> float:
+        self._reads += 1
+        if self._noise == 0.0:
+            return truth
+        value = truth + float(self._rng.normal(0.0, self._noise))
+        value = max(value, 0.0)
+        if upper is not None:
+            value = min(value, upper)
+        return value
+
+
+class CpuSensor(_NoisySensor):
+    """Measures a node's background CPU load (CPU-equivalents of other work)."""
+
+    def __init__(self, node: Node, *, noise: float = 0.01, seed: int = 0) -> None:
+        super().__init__(node, noise=noise, seed=seed, stream="cpu")
+
+    def read(self) -> float:
+        """One load measurement (>= 0, noisy)."""
+        return self._noisy(self._node.background_load, upper=None)
+
+
+class NicSensor(_NoisySensor):
+    """Measures a node's NIC utilisation (fraction of line rate in use)."""
+
+    def __init__(self, node: Node, *, noise: float = 0.01, seed: int = 0) -> None:
+        super().__init__(node, noise=noise, seed=seed, stream="nic")
+
+    def read(self) -> float:
+        """One utilisation measurement in [0, 1]."""
+        return self._noisy(self._node.nic_load, upper=1.0)

@@ -1,0 +1,97 @@
+"""Resource-availability snapshots.
+
+A :class:`SystemSnapshot` is the monitoring subsystem's answer to the
+core module's on-demand query: for every node, the (believed) current
+background CPU load and NIC utilisation.  The mapping evaluator derives
+``ACPU_j`` from it.  Snapshots are plain data — they may come from the
+live monitor (measured/forecast values) or be constructed directly for
+what-if studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction
+from repro.simulate.contention import cpu_share
+
+__all__ = ["SystemSnapshot"]
+
+
+@dataclass(frozen=True)
+class NodeState:
+    background_load: float = 0.0
+    nic_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.background_load < 0:
+            raise ValueError("background_load must be >= 0")
+        check_fraction(self.nic_load, "nic_load")
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """Per-node resource availability at (or forecast for) one instant."""
+
+    timestamp: float = 0.0
+    states: Mapping[str, NodeState] = field(default_factory=dict)
+    #: Per-node CPU counts, needed to turn load into availability.
+    ncpus: Mapping[str, int] = field(default_factory=dict)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def unloaded(cls, node_ids, ncpus: Mapping[str, int] | None = None) -> "SystemSnapshot":
+        """A snapshot of a completely idle system."""
+        ids = list(node_ids)
+        return cls(
+            timestamp=0.0,
+            states={nid: NodeState() for nid in ids},
+            ncpus=dict(ncpus) if ncpus else {nid: 1 for nid in ids},
+        )
+
+    @classmethod
+    def from_cluster(cls, cluster, timestamp: float = 0.0) -> "SystemSnapshot":
+        """The *true* current state of a cluster (an oracle snapshot).
+
+        The live monitor produces measured approximations of this; the
+        difference between the two is exactly what the paper's phase-3
+        experiments probe.
+        """
+        return cls(
+            timestamp=timestamp,
+            states={
+                nid: NodeState(node.background_load, node.nic_load)
+                for nid, node in cluster.nodes.items()
+            },
+            ncpus={nid: node.ncpus for nid, node in cluster.nodes.items()},
+        )
+
+    # -- queries ----------------------------------------------------------
+    def background_load(self, node_id: str) -> float:
+        state = self.states.get(node_id)
+        return state.background_load if state else 0.0
+
+    def nic_load(self, node_id: str) -> float:
+        state = self.states.get(node_id)
+        return state.nic_load if state else 0.0
+
+    def acpu(self, node_id: str, mapped_procs: int = 1) -> float:
+        """CPU availability ``ACPU_j`` for *mapped_procs* incoming processes.
+
+        This is the quantity eq. (5) divides by: the fair CPU share one
+        process receives given the node's CPU count, the believed
+        background load, and how many application processes the mapping
+        under evaluation co-locates there.
+        """
+        n = self.ncpus.get(node_id, 1)
+        return cpu_share(n, mapped_procs, self.background_load(node_id))
+
+    def with_load(self, node_id: str, background_load: float, nic_load: float | None = None) -> "SystemSnapshot":
+        """A copy with one node's state replaced (what-if analysis)."""
+        states = dict(self.states)
+        old = states.get(node_id, NodeState())
+        states[node_id] = NodeState(
+            background_load, old.nic_load if nic_load is None else nic_load
+        )
+        return SystemSnapshot(timestamp=self.timestamp, states=states, ncpus=self.ncpus)

@@ -1,0 +1,42 @@
+"""Application profiling: traces, profiles, trace analysis, speed ratios."""
+
+from repro.profiling.analyzer import TraceAnalyzer
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.export import (
+    gantt,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+    utilization,
+)
+from repro.profiling.events import MarkerRecord, MessageRecord, TimeCategory, TimeRecord
+from repro.profiling.profile import (
+    ApplicationProfile,
+    MessageGroup,
+    ProcessProfile,
+    theta,
+)
+from repro.profiling.speeds import measure_speed_ratios
+from repro.profiling.trace import ExecutionTrace
+
+__all__ = [
+    "ApplicationProfile",
+    "ExecutionTrace",
+    "MarkerRecord",
+    "MessageGroup",
+    "MessageRecord",
+    "ProcessProfile",
+    "ProfileDatabase",
+    "TimeCategory",
+    "TimeRecord",
+    "TraceAnalyzer",
+    "gantt",
+    "load_trace",
+    "measure_speed_ratios",
+    "save_trace",
+    "theta",
+    "trace_from_dict",
+    "trace_to_dict",
+    "utilization",
+]

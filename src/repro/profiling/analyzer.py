@@ -1,0 +1,144 @@
+"""Trace analysis: turn an execution trace into an application profile.
+
+This plays the role of the paper's modified XMPI profiling module: it
+walks the trace database built from one (profiling) run, accumulates the
+``X``/``O``/``B`` times, collapses the observed messages into same-size
+message groups per peer, and computes each process's ``lambda_i``
+correction factor (eq. 7) as the ratio of the *recorded* blocked time to
+the *theoretical* communication time of the profiling mapping itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.cluster.latency import LatencyModel
+from repro.profiling.events import TimeCategory
+from repro.profiling.profile import (
+    ApplicationProfile,
+    MessageGroup,
+    ProcessProfile,
+    theta,
+)
+from repro.profiling.trace import ExecutionTrace
+
+__all__ = ["TraceAnalyzer"]
+
+
+class TraceAnalyzer:
+    """Builds :class:`ApplicationProfile` objects from execution traces.
+
+    Parameters
+    ----------
+    latency_model:
+        The cluster latency model in effect during the profiling run;
+        needed to evaluate ``Theta_i^profile`` for eq. (7).  Profiling
+        is assumed to happen on an unloaded system (as the calibration
+        phase requires), so no-load latencies are used.
+    """
+
+    def __init__(self, latency_model: LatencyModel):
+        self._latency = latency_model
+
+    def analyze(
+        self,
+        trace: ExecutionTrace,
+        *,
+        profile_speeds: Mapping[int, float],
+        arch_speed_ratios: Mapping[str, float] | None = None,
+        per_segment: bool = False,
+    ) -> ApplicationProfile:
+        """Analyze *trace* into a profile.
+
+        Parameters
+        ----------
+        trace:
+            A sealed trace (``finish()`` must have been called).
+        profile_speeds:
+            Effective node speed each rank ran at during profiling
+            (``Speed_profile_j`` in eq. 5).
+        arch_speed_ratios:
+            Measured per-architecture application speeds (footnote 1).
+        per_segment:
+            Also produce per-segment sub-profiles for marker-delimited
+            program phases.
+        """
+        if trace.total_time is None:
+            raise ValueError("trace must be sealed with finish() before analysis")
+        profile = self._analyze_segment(trace, None, profile_speeds, arch_speed_ratios)
+        if per_segment and len(trace.segments) > 1:
+            for seg in trace.segments:
+                profile.segments[seg] = self._analyze_segment(
+                    trace, seg, profile_speeds, arch_speed_ratios
+                )
+        return profile
+
+    # -- internals ------------------------------------------------------
+    def _analyze_segment(
+        self,
+        trace: ExecutionTrace,
+        segment: int | None,
+        profile_speeds: Mapping[int, float],
+        arch_speed_ratios: Mapping[str, float] | None,
+    ) -> ApplicationProfile:
+        # Single pass over the trace: O(records), not O(ranks x records).
+        times = [[0.0, 0.0, 0.0] for _ in range(trace.nprocs)]
+        index = {TimeCategory.OWN_CODE: 0, TimeCategory.MPI_OVERHEAD: 1, TimeCategory.BLOCKED: 2}
+        for rec in trace.time_records:
+            if segment is None or rec.segment == segment:
+                times[rec.rank][index[rec.category]] += rec.duration
+        send_counts: list[dict[tuple[int, float], int]] = [{} for _ in range(trace.nprocs)]
+        recv_counts: list[dict[tuple[int, float], int]] = [{} for _ in range(trace.nprocs)]
+        for msg in trace.messages:
+            if segment is None or msg.segment == segment:
+                key_s = (msg.dst, msg.size_bytes)
+                send_counts[msg.src][key_s] = send_counts[msg.src].get(key_s, 0) + 1
+                key_r = (msg.src, msg.size_bytes)
+                recv_counts[msg.dst][key_r] = recv_counts[msg.dst].get(key_r, 0) + 1
+
+        processes = []
+        for rank in range(trace.nprocs):
+            own, over, blocked = times[rank]
+            proc = ProcessProfile(
+                rank=rank,
+                own_time=own,
+                overhead_time=over,
+                blocked_time=blocked,
+                sends=self._from_counts(send_counts[rank]),
+                recvs=self._from_counts(recv_counts[rank]),
+                lam=1.0,
+            )
+            processes.append(self._with_lambda(proc, trace.mapping))
+        return ApplicationProfile(
+            app_name=trace.app_name,
+            nprocs=trace.nprocs,
+            processes=tuple(processes),
+            profile_mapping=dict(trace.mapping),
+            profile_speeds={int(k): float(v) for k, v in profile_speeds.items()},
+            arch_speed_ratios=dict(arch_speed_ratios or {}),
+        )
+
+    @staticmethod
+    def _from_counts(counts: dict[tuple[int, float], int]) -> tuple[MessageGroup, ...]:
+        return tuple(
+            MessageGroup(peer, size, count) for (peer, size), count in sorted(counts.items())
+        )
+
+    def _with_lambda(self, proc: ProcessProfile, mapping: Mapping[int, str]) -> ProcessProfile:
+        """Attach lambda_i = B_i / Theta_i^profile (eq. 7).
+
+        A process with no profiled communication keeps lambda = 1 (its
+        communication term is identically zero anyway).
+        """
+        theo = theta(proc, mapping, lambda s, d, size: self._latency.no_load(s, d, size))
+        if theo <= 0.0:
+            return proc
+        return ProcessProfile(
+            rank=proc.rank,
+            own_time=proc.own_time,
+            overhead_time=proc.overhead_time,
+            blocked_time=proc.blocked_time,
+            sends=proc.sends,
+            recvs=proc.recvs,
+            lam=proc.blocked_time / theo,
+        )

@@ -1,0 +1,139 @@
+"""Persistent CBES database (paper section 2, figure 2).
+
+*"The CBES infrastructure consists of a set of databases, profiling
+tools, and monitoring daemons."*  This module is the database part: a
+directory-backed store holding
+
+* the **system profile** — the calibrated latency model per cluster,
+  so the expensive off-line calibration phase is paid once and reloaded
+  on every service start;
+* the **application profiles** — one JSON document per application.
+
+The layout is plain JSON files so entries are diffable, portable and
+inspectable:
+
+::
+
+    <root>/
+      system/<cluster>.json          calibrated latency model
+      applications/<app>.json        application profile
+
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.cluster.latency import LatencyModel
+from repro.profiling.profile import ApplicationProfile
+
+__all__ = ["ProfileDatabase"]
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _slug(name: str) -> str:
+    if not name:
+        raise ValueError("name must be nonempty")
+    return _SAFE.sub("_", name)
+
+
+class ProfileDatabase:
+    """Directory-backed store for system and application profiles."""
+
+    def __init__(self, root: str | Path):
+        self._root = Path(root)
+        (self._root / "system").mkdir(parents=True, exist_ok=True)
+        (self._root / "applications").mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # -- system profiles -------------------------------------------------
+    def _system_path(self, cluster_name: str) -> Path:
+        return self._root / "system" / f"{_slug(cluster_name)}.json"
+
+    def save_latency_model(self, cluster_name: str, model: LatencyModel) -> Path:
+        """Persist a cluster's calibrated latency model."""
+        path = self._system_path(cluster_name)
+        path.write_text(json.dumps(model.to_dict()))
+        return path
+
+    def load_latency_model(self, cluster_name: str) -> LatencyModel:
+        path = self._system_path(cluster_name)
+        if not path.exists():
+            raise KeyError(f"no system profile stored for cluster {cluster_name!r}")
+        return LatencyModel.from_dict(json.loads(path.read_text()))
+
+    def has_system_profile(self, cluster_name: str) -> bool:
+        return self._system_path(cluster_name).exists()
+
+    # -- application profiles ------------------------------------------------
+    def _app_path(self, app_name: str) -> Path:
+        return self._root / "applications" / f"{_slug(app_name)}.json"
+
+    def save_profile(self, profile: ApplicationProfile) -> Path:
+        path = self._app_path(profile.app_name)
+        profile.save(path)
+        return path
+
+    def load_profile(self, app_name: str) -> ApplicationProfile:
+        path = self._app_path(app_name)
+        if not path.exists():
+            raise KeyError(f"no profile stored for application {app_name!r}")
+        return ApplicationProfile.load(path)
+
+    def delete_profile(self, app_name: str) -> bool:
+        """Remove a stored profile; returns whether it existed."""
+        path = self._app_path(app_name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def applications(self) -> list[str]:
+        """Names of all stored application profiles (by file content)."""
+        names = []
+        for path in sorted((self._root / "applications").glob("*.json")):
+            try:
+                names.append(str(json.loads(path.read_text())["app_name"]))
+            except (json.JSONDecodeError, KeyError):
+                continue  # ignore foreign files
+        return names
+
+    # -- service integration ----------------------------------------------------
+    def attach(self, service) -> int:
+        """Load everything relevant into a CBES service.
+
+        Installs the stored latency model for the service's cluster (if
+        present and the cluster is not yet calibrated) and registers all
+        stored application profiles.  Returns the number of profiles
+        loaded.
+        """
+        cluster = service.cluster
+        if not cluster.is_calibrated and self.has_system_profile(cluster.name):
+            model = self.load_latency_model(cluster.name)
+            missing = set(cluster.node_ids()) - set(model.hosts)
+            if missing:
+                raise ValueError(
+                    f"stored system profile for {cluster.name!r} lacks nodes {sorted(missing)[:5]}"
+                )
+            cluster._latency = model  # noqa: SLF001 - deliberate install
+        count = 0
+        for name in self.applications():
+            service.register_profile(self.load_profile(name))
+            count += 1
+        return count
+
+    def snapshot_service(self, service) -> int:
+        """Persist a service's calibration and all registered profiles."""
+        if service.cluster.is_calibrated:
+            self.save_latency_model(service.cluster.name, service.cluster.latency_model)
+        count = 0
+        for name in service.profiled_applications:
+            self.save_profile(service.profile(name))
+            count += 1
+        return count

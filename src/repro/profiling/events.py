@@ -1,0 +1,87 @@
+"""Execution trace record types.
+
+The LAM/MPI daemons of the paper record detailed execution traces that
+the (modified) XMPI tool analyzes into profiles.  Our simulated runtime
+(:mod:`repro.simulate`) emits the same information as a stream of typed
+records: time spent in own code, time spent inside the message-passing
+library, time spent blocked, and every message with its peer and size.
+Records carry the segment index so that marker-delimited program phases
+can be profiled separately (the paper's per-segment profiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["TimeCategory", "TimeRecord", "MessageRecord", "MarkerRecord"]
+
+
+class TimeCategory(str, Enum):
+    """Where a slice of a process's wall-clock time went.
+
+    Mirrors the paper's accounting: ``X`` own code, ``O`` MPI library
+    overhead, ``B`` blocked waiting on communication.
+    """
+
+    OWN_CODE = "X"
+    MPI_OVERHEAD = "O"
+    BLOCKED = "B"
+
+
+@dataclass(frozen=True)
+class TimeRecord:
+    """A contiguous slice of one process's time in one category."""
+
+    rank: int
+    category: TimeCategory
+    start: float
+    duration: float
+    segment: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.segment < 0:
+            raise ValueError("segment must be >= 0")
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One point-to-point message observed on the wire.
+
+    Recorded once, attributed to the *sender*; the analyzer derives the
+    receive side from it.  Collectives appear as their constituent
+    point-to-point messages, which is what eq. (6) needs.
+    """
+
+    src: int
+    dst: int
+    size_bytes: float
+    send_time: float
+    recv_time: float
+    segment: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("ranks must be >= 0")
+        if self.src == self.dst:
+            raise ValueError("self messages are not traced")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if self.recv_time < self.send_time:
+            raise ValueError("recv_time must be >= send_time")
+
+
+@dataclass(frozen=True)
+class MarkerRecord:
+    """A LAM/MPI-style segment marker (begin of segment *segment*)."""
+
+    rank: int
+    time: float
+    segment: int
+    label: str = ""

@@ -1,0 +1,116 @@
+"""Trace export and visualization (the XMPI role, text edition).
+
+The paper's profiling subsystem is built on XMPI, a trace *visualization*
+tool.  This module provides the equivalent plumbing for our traces:
+
+* JSON export/import of :class:`~repro.profiling.trace.ExecutionTrace`
+  (so traces can be stored next to profiles and re-analyzed later);
+* a text Gantt chart of per-rank activity (X/O/B over time), the
+  at-a-glance view XMPI gives of an execution;
+* per-rank utilisation summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.profiling.events import TimeCategory
+from repro.profiling.trace import ExecutionTrace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace", "gantt", "utilization"]
+
+_CATEGORY_CHAR = {
+    TimeCategory.OWN_CODE: "#",
+    TimeCategory.MPI_OVERHEAD: "o",
+    TimeCategory.BLOCKED: ".",
+}
+
+
+def trace_to_dict(trace: ExecutionTrace) -> dict:
+    """Plain-JSON representation of a trace."""
+    return {
+        "app_name": trace.app_name,
+        "nprocs": trace.nprocs,
+        "mapping": {str(r): n for r, n in trace.mapping.items()},
+        "total_time": trace.total_time,
+        "time_records": [
+            [r.rank, r.category.value, r.start, r.duration, r.segment]
+            for r in trace.time_records
+        ],
+        "messages": [
+            [m.src, m.dst, m.size_bytes, m.send_time, m.recv_time, m.segment]
+            for m in trace.messages
+        ],
+        "markers": [[m.rank, m.time, m.segment, m.label] for m in trace.markers],
+    }
+
+
+def trace_from_dict(data: dict) -> ExecutionTrace:
+    """Rebuild a trace from its JSON representation."""
+    trace = ExecutionTrace(
+        str(data["app_name"]),
+        int(data["nprocs"]),
+        {int(r): str(n) for r, n in data["mapping"].items()},
+    )
+    for rank, cat, start, duration, segment in data["time_records"]:
+        trace.record_time(int(rank), TimeCategory(cat), float(start), float(duration), int(segment))
+    for src, dst, size, send_t, recv_t, segment in data["messages"]:
+        trace.record_message(int(src), int(dst), float(size), float(send_t), float(recv_t), int(segment))
+    for rank, time, segment, label in data.get("markers", []):
+        trace.record_marker(int(rank), float(time), int(segment), str(label))
+    if data.get("total_time") is not None:
+        trace.finish(float(data["total_time"]))
+    return trace
+
+
+def save_trace(trace: ExecutionTrace, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> ExecutionTrace:
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def gantt(trace: ExecutionTrace, *, width: int = 80) -> str:
+    """Text Gantt chart: one row per rank, time left to right.
+
+    ``#`` own code, ``o`` MPI overhead, ``.`` blocked, space = idle /
+    unaccounted.  The later category drawn wins on cell collisions,
+    which for our traces only affects sub-cell slivers.
+    """
+    if trace.total_time is None or trace.total_time <= 0:
+        raise ValueError("trace must be sealed with a positive total time")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    scale = width / trace.total_time
+    rows = [[" "] * width for _ in range(trace.nprocs)]
+    for rec in trace.time_records:
+        lo = int(rec.start * scale)
+        hi = max(int((rec.start + rec.duration) * scale), lo + 1)
+        char = _CATEGORY_CHAR[rec.category]
+        for cell in range(lo, min(hi, width)):
+            rows[rec.rank][cell] = char
+    header = (
+        f"{trace.app_name}: {trace.total_time:.3f} s "
+        f"(# own code, o mpi overhead, . blocked)"
+    )
+    lines = [header]
+    for rank in range(trace.nprocs):
+        lines.append(f"r{rank:<3d}|{''.join(rows[rank])}|")
+    return "\n".join(lines)
+
+
+def utilization(trace: ExecutionTrace) -> dict[int, dict[str, float]]:
+    """Per-rank share of wall time in each category (plus idle)."""
+    if trace.total_time is None or trace.total_time <= 0:
+        raise ValueError("trace must be sealed with a positive total time")
+    out: dict[int, dict[str, float]] = {}
+    for rank in range(trace.nprocs):
+        shares = {
+            cat.value: trace.time_in(rank, cat) / trace.total_time
+            for cat in TimeCategory
+        }
+        shares["idle"] = max(0.0, 1.0 - sum(shares.values()))
+        out[rank] = shares
+    return out

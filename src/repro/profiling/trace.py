@@ -1,0 +1,100 @@
+"""Execution trace container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.profiling.events import MarkerRecord, MessageRecord, TimeCategory, TimeRecord
+
+__all__ = ["ExecutionTrace"]
+
+
+class ExecutionTrace:
+    """An application execution trace: typed records from one run.
+
+    The trace is append-only during a run and then analyzed by
+    :class:`repro.profiling.analyzer.TraceAnalyzer`.  It also carries
+    the context needed to interpret itself: the mapping in effect
+    (rank -> node id) and the total measured wall-clock time.
+    """
+
+    def __init__(self, app_name: str, nprocs: int, mapping: dict[int, str]):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if sorted(mapping) != list(range(nprocs)):
+            raise ValueError("mapping must cover ranks 0..nprocs-1 exactly")
+        self.app_name = app_name
+        self.nprocs = nprocs
+        self.mapping = dict(mapping)
+        self.time_records: list[TimeRecord] = []
+        self.messages: list[MessageRecord] = []
+        self.markers: list[MarkerRecord] = []
+        self.total_time: float | None = None
+
+    # -- recording ----------------------------------------------------
+    def record_time(
+        self, rank: int, category: TimeCategory, start: float, duration: float, segment: int = 0
+    ) -> None:
+        """Append one time slice (zero-duration slices are dropped)."""
+        if duration <= 0.0:
+            return
+        self._check_rank(rank)
+        self.time_records.append(TimeRecord(rank, category, start, duration, segment))
+
+    def record_message(
+        self, src: int, dst: int, size_bytes: float, send_time: float, recv_time: float, segment: int = 0
+    ) -> None:
+        """Append one observed point-to-point message."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        self.messages.append(MessageRecord(src, dst, size_bytes, send_time, recv_time, segment))
+
+    def record_marker(self, rank: int, time: float, segment: int, label: str = "") -> None:
+        self._check_rank(rank)
+        self.markers.append(MarkerRecord(rank, time, segment, label))
+
+    def finish(self, total_time: float) -> None:
+        """Seal the trace with the measured wall-clock time."""
+        if total_time < 0:
+            raise ValueError("total_time must be >= 0")
+        self.total_time = total_time
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range for {self.nprocs} processes")
+
+    # -- queries --------------------------------------------------------
+    @property
+    def segments(self) -> list[int]:
+        """Sorted distinct segment indices present in the trace."""
+        found = {r.segment for r in self.time_records}
+        found.update(m.segment for m in self.messages)
+        return sorted(found) if found else [0]
+
+    def time_in(self, rank: int, category: TimeCategory, segment: int | None = None) -> float:
+        """Accumulated time of *rank* in *category* (optionally one segment)."""
+        self._check_rank(rank)
+        return sum(
+            r.duration
+            for r in self.time_records
+            if r.rank == rank
+            and r.category is category
+            and (segment is None or r.segment == segment)
+        )
+
+    def messages_from(self, rank: int, segment: int | None = None) -> Iterable[MessageRecord]:
+        return (
+            m for m in self.messages if m.src == rank and (segment is None or m.segment == segment)
+        )
+
+    def messages_to(self, rank: int, segment: int | None = None) -> Iterable[MessageRecord]:
+        return (
+            m for m in self.messages if m.dst == rank and (segment is None or m.segment == segment)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sealed = f", total={self.total_time:.4f}s" if self.total_time is not None else " (open)"
+        return (
+            f"ExecutionTrace({self.app_name!r}, {self.nprocs} procs, "
+            f"{len(self.time_records)} slices, {len(self.messages)} msgs{sealed})"
+        )

@@ -1,0 +1,26 @@
+"""Schedulers: CS (SA, full cost), NCS (SA, no comm), RS, greedy, GA."""
+
+from repro.schedulers.annealing import AnnealingSchedule, anneal
+from repro.schedulers.base import MappingConstraint, ScheduleResult, Scheduler, random_mapping
+from repro.schedulers.cs import CbesScheduler
+from repro.schedulers.genetic import GeneticParams, GeneticScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.moves import MoveGenerator
+from repro.schedulers.ncs import NoCommScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+
+__all__ = [
+    "AnnealingSchedule",
+    "CbesScheduler",
+    "GeneticParams",
+    "GeneticScheduler",
+    "GreedyScheduler",
+    "MappingConstraint",
+    "MoveGenerator",
+    "NoCommScheduler",
+    "RandomScheduler",
+    "ScheduleResult",
+    "Scheduler",
+    "anneal",
+    "random_mapping",
+]

@@ -1,0 +1,111 @@
+"""Scheduler interface and common plumbing.
+
+A scheduler, in the paper's architecture, is an external *client* of the
+CBES core: it proposes candidate mappings and uses the mapping
+evaluation operation as its objective function.  All schedulers here
+share the same contract: given an evaluator bound to an application and
+a pool of candidate nodes, return the mapping they consider best, plus
+bookkeeping (evaluation count, wall time) that reproduces the paper's
+"approximate scheduler time" column.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import spawn_rng
+from repro.core.evaluation import MappingEvaluator
+from repro.core.mapping import TaskMapping
+
+__all__ = ["ScheduleResult", "Scheduler", "MappingConstraint", "random_mapping"]
+
+#: Optional predicate restricting the feasible mapping set (e.g. "must
+#: include at least one Intel node" for the paper's zone experiments).
+MappingConstraint = Callable[[TaskMapping], bool]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduling request."""
+
+    mapping: TaskMapping
+    predicted_time: float
+    evaluations: int
+    wall_time_s: float
+    scheduler: str
+    #: Trajectory of best predicted time over evaluations (for studies).
+    history: list[float] = field(default_factory=list)
+
+
+class Scheduler(ABC):
+    """Base class for CBES-attached schedulers."""
+
+    #: Human-readable scheduler tag (CS / NCS / RS / ...).
+    name: str = "scheduler"
+
+    def __init__(self, *, constraint: MappingConstraint | None = None):
+        self._constraint = constraint
+
+    def feasible(self, mapping: TaskMapping) -> bool:
+        """Whether a mapping satisfies the attached constraint."""
+        return self._constraint is None or self._constraint(mapping)
+
+    def schedule(
+        self, evaluator: MappingEvaluator, pool: Sequence[str], *, seed: int = 0
+    ) -> ScheduleResult:
+        """Pick a mapping for the evaluator's application from *pool*."""
+        nprocs = evaluator.profile.nprocs
+        pool = list(dict.fromkeys(pool))
+        if len(pool) < nprocs:
+            raise ValueError(
+                f"pool of {len(pool)} nodes cannot host {nprocs} processes one-per-node"
+            )
+        start_evals = evaluator.evaluations
+        started = time.perf_counter()
+        mapping, predicted, history = self._run(evaluator, pool, seed)
+        return ScheduleResult(
+            mapping=mapping,
+            predicted_time=predicted,
+            evaluations=evaluator.evaluations - start_evals,
+            wall_time_s=time.perf_counter() - started,
+            scheduler=self.name,
+            history=history,
+        )
+
+    @abstractmethod
+    def _run(
+        self, evaluator: MappingEvaluator, pool: list[str], seed: int
+    ) -> tuple[TaskMapping, float, list[float]]:
+        """Scheduler-specific search.  Returns (mapping, energy, history)."""
+
+    def _initial_mapping(
+        self, evaluator: MappingEvaluator, pool: list[str], rng: np.random.Generator
+    ) -> TaskMapping:
+        """A random feasible starting point (rejection sampling)."""
+        nprocs = evaluator.profile.nprocs
+        for _ in range(10_000):
+            mapping = random_mapping(pool, nprocs, rng)
+            if self.feasible(mapping):
+                return mapping
+        raise RuntimeError(
+            f"{self.name}: could not draw a feasible mapping from the pool; "
+            "the constraint may be unsatisfiable"
+        )
+
+
+def random_mapping(pool: Sequence[str], nprocs: int, rng: np.random.Generator) -> TaskMapping:
+    """A uniform random one-process-per-node mapping over *pool*."""
+    if len(pool) < nprocs:
+        raise ValueError("pool smaller than process count")
+    idx = rng.choice(len(pool), size=nprocs, replace=False)
+    return TaskMapping([pool[int(i)] for i in idx])
+
+
+def make_rng(seed: int, *parts: object) -> np.random.Generator:
+    """Seeded RNG for scheduler runs (re-export of the shared helper)."""
+    return spawn_rng(seed, *parts)

@@ -1,0 +1,139 @@
+"""GA — genetic-algorithm scheduler (the paper's future-work direction).
+
+Section 8: *"We further intend to investigate the suitability of other
+scheduling algorithms, e.g. genetic algorithms, for CBES-supported
+scheduling."*  This implementation uses the same CBES energy function as
+CS with a steady-state GA: tournament selection, uniform crossover with
+duplicate repair (mappings must stay one-process-per-node), and the SA
+move set as the mutation operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import MappingEvaluator
+from repro.core.mapping import TaskMapping
+from repro.schedulers.base import MappingConstraint, Scheduler, make_rng, random_mapping
+from repro.schedulers.moves import MoveGenerator
+
+__all__ = ["GeneticParams", "GeneticScheduler"]
+
+
+@dataclass(frozen=True)
+class GeneticParams:
+    """GA hyperparameters."""
+
+    population: int = 24
+    generations: int = 40
+    tournament: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.3
+    elite: int = 2
+    patience: int = 12
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 2 <= self.tournament <= self.population:
+            raise ValueError("tournament size must be in [2, population]")
+        for rate in (self.crossover_rate, self.mutation_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must be in [0, 1]")
+        if not 0 <= self.elite < self.population:
+            raise ValueError("elite must be in [0, population)")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+
+class GeneticScheduler(Scheduler):
+    """Steady-state GA over the mapping space with the CBES energy."""
+
+    name = "GA"
+
+    def __init__(
+        self,
+        *,
+        params: GeneticParams = GeneticParams(),
+        constraint: MappingConstraint | None = None,
+    ):
+        super().__init__(constraint=constraint)
+        self._params = params
+
+    def _run(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
+        p = self._params
+        rng = make_rng(seed, self.name, tuple(pool), evaluator.profile.app_name)
+        moves = MoveGenerator(pool)
+        nprocs = evaluator.profile.nprocs
+
+        population = [self._initial_mapping(evaluator, pool, rng) for _ in range(p.population)]
+        fitness = [evaluator.execution_time(m) for m in population]
+        history = [min(fitness)]
+        stale = 0
+        for _ in range(p.generations):
+            order = np.argsort(fitness)
+            next_pop = [population[int(i)] for i in order[: p.elite]]
+            while len(next_pop) < p.population:
+                parent_a = self._tournament(population, fitness, rng)
+                parent_b = self._tournament(population, fitness, rng)
+                if rng.random() < p.crossover_rate:
+                    child = self._crossover(parent_a, parent_b, pool, rng)
+                else:
+                    child = parent_a
+                if rng.random() < p.mutation_rate:
+                    child = moves.neighbour(child, rng)
+                if self.feasible(child):
+                    next_pop.append(child)
+                else:
+                    next_pop.append(parent_a)
+            population = next_pop
+            fitness = [evaluator.execution_time(m) for m in population]
+            best_now = min(fitness)
+            if best_now < history[-1] - 1e-12:
+                stale = 0
+            else:
+                stale += 1
+            history.append(min(best_now, history[-1]))
+            if stale >= p.patience:
+                break
+        best_idx = int(np.argmin(fitness))
+        return population[best_idx], fitness[best_idx], history
+
+    @staticmethod
+    def _tournament(
+        population: list[TaskMapping], fitness: list[float], rng: np.random.Generator
+    ) -> TaskMapping:
+        contenders = rng.choice(len(population), size=min(3, len(population)), replace=False)
+        winner = min(contenders, key=lambda i: fitness[int(i)])
+        return population[int(winner)]
+
+    @staticmethod
+    def _crossover(
+        a: TaskMapping, b: TaskMapping, pool: list[str], rng: np.random.Generator
+    ) -> TaskMapping:
+        """Uniform crossover with duplicate repair.
+
+        Genes are per-rank node choices; when the inherited gene is
+        already used by an earlier rank, repair with the other parent's
+        gene, then with a random unused pool node.
+        """
+        nprocs = a.nprocs
+        used: set[str] = set()
+        genes: list[str] = []
+        take_a = rng.random(nprocs) < 0.5
+        for rank in range(nprocs):
+            first = a.node_of(rank) if take_a[rank] else b.node_of(rank)
+            second = b.node_of(rank) if take_a[rank] else a.node_of(rank)
+            if first not in used:
+                genes.append(first)
+            elif second not in used:
+                genes.append(second)
+            else:
+                free = [n for n in pool if n not in used]
+                genes.append(free[int(rng.integers(len(free)))])
+            used.add(genes[-1])
+        return TaskMapping(genes)

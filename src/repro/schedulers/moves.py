@@ -1,0 +1,57 @@
+"""Neighbourhood move generators for local-search schedulers.
+
+The simulated-annealing and genetic schedulers explore the mapping space
+through two elementary moves:
+
+* **swap** — exchange the nodes of two processes (changes which rank
+  sits where, not which nodes are used: this is what exploits
+  communication topology);
+* **replace** — move one process to an unused node from the pool
+  (changes the node *set*: this is what exploits node speed and load).
+
+Both preserve the one-process-per-node invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TaskMapping
+
+__all__ = ["MoveGenerator"]
+
+
+class MoveGenerator:
+    """Draws random neighbours of a mapping over a fixed node pool."""
+
+    def __init__(self, pool: list[str], *, swap_probability: float = 0.5):
+        if not 0.0 <= swap_probability <= 1.0:
+            raise ValueError("swap_probability must be in [0, 1]")
+        self._pool = list(dict.fromkeys(pool))
+        self._swap_p = swap_probability
+
+    @property
+    def pool(self) -> list[str]:
+        return list(self._pool)
+
+    def neighbour(self, mapping: TaskMapping, rng: np.random.Generator) -> TaskMapping:
+        """One random elementary move applied to *mapping*."""
+        nprocs = mapping.nprocs
+        free = [n for n in self._pool if n not in mapping.nodes_used()]
+        can_swap = nprocs >= 2
+        can_replace = bool(free)
+        if not can_swap and not can_replace:
+            return mapping
+        do_swap = can_swap and (not can_replace or rng.random() < self._swap_p)
+        if do_swap:
+            a, b = rng.choice(nprocs, size=2, replace=False)
+            return mapping.with_swap(int(a), int(b))
+        rank = int(rng.integers(nprocs))
+        node = free[int(rng.integers(len(free)))]
+        return mapping.with_assignment(rank, node)
+
+    def neighbours(self, mapping: TaskMapping, count: int, rng: np.random.Generator) -> list[TaskMapping]:
+        """*count* independent random neighbours."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.neighbour(mapping, rng) for _ in range(count)]

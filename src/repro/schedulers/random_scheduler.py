@@ -1,0 +1,30 @@
+"""RS — the random reference scheduler of section 6.
+
+Picks a mapping uniformly at random from the pool of nodes considered
+equivalent.  It costs essentially nothing to run and is the paper's
+point of reference for the maximum feasible overall speedup.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import MappingEvaluator
+from repro.schedulers.base import MappingConstraint, Scheduler, make_rng, random_mapping
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random mapping selection."""
+
+    name = "RS"
+
+    def __init__(self, *, constraint: MappingConstraint | None = None):
+        super().__init__(constraint=constraint)
+
+    def _run(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
+        rng = make_rng(seed, self.name, tuple(pool), evaluator.profile.app_name)
+        mapping = self._initial_mapping(evaluator, pool, rng)
+        # RS itself never evaluates; the prediction is computed only so
+        # the result is comparable with the other schedulers.
+        predicted = evaluator.execution_time(mapping)
+        return mapping, predicted, [predicted]

@@ -1,0 +1,38 @@
+"""Ground-truth execution simulation of MPI-like programs on clusters."""
+
+from repro.simulate.contention import LinkContentionTracker, cpu_share
+from repro.simulate.timeline import LoadTimeline
+from repro.simulate.engine import (
+    ClusterSimulator,
+    SimulationConfig,
+    SimulationDeadlock,
+    SimulationResult,
+)
+from repro.simulate.program import (
+    Compute,
+    Exchange,
+    Marker,
+    Op,
+    Program,
+    Recv,
+    Send,
+    SendRecv,
+)
+
+__all__ = [
+    "ClusterSimulator",
+    "Compute",
+    "Exchange",
+    "LinkContentionTracker",
+    "LoadTimeline",
+    "Marker",
+    "Op",
+    "Program",
+    "Recv",
+    "Send",
+    "SendRecv",
+    "SimulationConfig",
+    "SimulationDeadlock",
+    "SimulationResult",
+    "cpu_share",
+]

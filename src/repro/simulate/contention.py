@@ -1,0 +1,132 @@
+"""Network and CPU contention models used by the execution engine.
+
+The CBES *predictor* deliberately ignores contention between the
+application's own messages (its latency model is per-pair); the ground
+truth must not, or predictions would be unrealistically perfect.  The
+engine therefore inflates the serialization component of each transfer
+by the instantaneous concurrency it observes on the transfer's
+bottleneck link.
+
+The tracker is an interval-overlap model: each resolved transfer
+registers its ``[start, end)`` interval on every link of its path; a new
+transfer's inflation factor is ``1 + k`` where ``k`` is the largest
+number of already-registered overlapping transfers on any *shared* (i.e.
+switch-to-switch) link of its path.  Host uplinks carry at most one
+process's traffic at a time under blocking semantics, so they are not
+inflated.  The model is approximate — resolution order is not globally
+time-ordered — but deterministic and conservative.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+from repro.cluster.network import NetworkFabric
+
+__all__ = ["LinkContentionTracker", "cpu_share"]
+
+
+class LinkContentionTracker:
+    """Tracks transfer intervals per fabric link and reports concurrency."""
+
+    def __init__(self, fabric: NetworkFabric):
+        self._fabric = fabric
+        # link key -> (sorted starts, sorted ends) of registered intervals.
+        # Overlap counting is then two bisects: |{start < q_end}| minus
+        # |{end <= q_start}|, because every interval that ended before
+        # the query started also started before the query ends.
+        self._starts: dict[tuple[str, str], list[float]] = {}
+        self._ends: dict[tuple[str, str], list[float]] = {}
+        self._shared_cache: dict[tuple[str, str], list[tuple[tuple[str, str], float]]] = {}
+
+    @staticmethod
+    def _key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _shared_links(self, src: str, dst: str) -> list[tuple[tuple[str, str], float]]:
+        """(link key, bandwidth) of switch-to-switch links on the path."""
+        cache_key = (src, dst)
+        links = self._shared_cache.get(cache_key)
+        if links is None:
+            links = [
+                (self._key(a, b), link.bandwidth_bps)
+                for a, b, link in self._fabric.path_links(src, dst)
+                if self._fabric.is_switch(a) and self._fabric.is_switch(b)
+            ]
+            self._shared_cache[cache_key] = links
+        return links
+
+    def concurrency(self, src: str, dst: str, start: float, end: float) -> int:
+        """Max number of registered transfers overlapping [start, end)
+        on any shared link of the path (capacity-blind count)."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        worst = 0
+        for key, _ in self._shared_links(src, dst):
+            worst = max(worst, self._overlaps(key, start, end))
+        return worst
+
+    def inflation(
+        self, src: str, dst: str, start: float, end: float, flow_bps: float
+    ) -> float:
+        """Serialization inflation factor for one transfer (>= 1).
+
+        Bandwidth-sharing model: a shared link of capacity ``B`` crossed
+        by ``k`` other concurrent transfers of achievable rate
+        ``flow_bps`` each grants this flow ``B / (k+1)``; its
+        serialization stretches by ``(k+1) * flow_bps / B`` — but only
+        once aggregate demand actually exceeds the link (a fat trunk
+        absorbs many slow flows without slowdown, which is why the
+        paper's Centurion showed benign behaviour while Orange Grove's
+        federation link did not).
+        """
+        if end < start:
+            raise ValueError("end must be >= start")
+        if flow_bps <= 0:
+            raise ValueError("flow_bps must be > 0")
+        worst = 1.0
+        for key, link_bps in self._shared_links(src, dst):
+            k = self._overlaps(key, start, end)
+            if k:
+                worst = max(worst, (k + 1) * flow_bps / link_bps)
+        return worst
+
+    def _overlaps(self, key: tuple[str, str], start: float, end: float) -> int:
+        starts = self._starts.get(key)
+        if not starts:
+            return 0
+        began_before_qend = bisect_left(starts, end)
+        ended_by_qstart = bisect_right(self._ends[key], start)
+        return began_before_qend - ended_by_qstart
+
+    def register(self, src: str, dst: str, start: float, end: float) -> None:
+        """Record a resolved transfer on every shared link of its path."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        for key, _ in self._shared_links(src, dst):
+            insort(self._starts.setdefault(key, []), start)
+            insort(self._ends.setdefault(key, []), end)
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+
+def cpu_share(ncpus: int, mapped_procs: int, background_load: float) -> float:
+    """Fair-share CPU fraction each mapped process receives on a node.
+
+    ``mapped_procs`` application processes plus ``background_load``
+    CPU-equivalents of other work timeshare ``ncpus`` CPUs.  While total
+    demand fits, every process gets a full CPU; beyond that, fair
+    scheduling grants each the proportional share.
+    """
+    if ncpus < 1:
+        raise ValueError("ncpus must be >= 1")
+    if mapped_procs < 1:
+        raise ValueError("mapped_procs must be >= 1")
+    if background_load < 0:
+        raise ValueError("background_load must be >= 0")
+    demand = mapped_procs + background_load
+    if demand <= ncpus:
+        return 1.0
+    return ncpus / demand

@@ -1,0 +1,197 @@
+"""Program intermediate representation executed by the simulator.
+
+A :class:`Program` is the per-rank operation stream of a (synthetic or
+modelled) MPI application: compute bursts interleaved with blocking
+point-to-point operations.  Workload models (:mod:`repro.workloads`)
+generate programs; the discrete-event engine (:mod:`repro.simulate.engine`)
+executes them against a cluster model; the resulting trace is what the
+profiling subsystem analyzes.
+
+Only four communication primitives exist — ``Send``, ``Recv``,
+``Exchange`` (a symmetric pairwise swap, like a matched pair of
+``MPI_Sendrecv``) and ``SendRecv`` (an asymmetric combined send+receive
+to/from different peers, exactly ``MPI_Sendrecv``) — because every MPI
+collective the modelled applications use is *decomposed* into these by
+:mod:`repro.workloads.patterns`, which is also what eq. (6) needs: the
+profile must see the constituent point-to-point message groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Compute", "Send", "Recv", "Exchange", "SendRecv", "Marker", "Op", "Program"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute *work* abstract work units of application code."""
+
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError("work must be >= 0")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking standard-mode send of *size_bytes* to rank *dst*."""
+
+    dst: int
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError("dst must be >= 0")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive of *size_bytes* from rank *src*."""
+
+    src: int
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.src < 0:
+            raise ValueError("src must be >= 0")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """Symmetric pairwise exchange with *peer* (both ranks issue it).
+
+    Models the common halo-swap idiom: both directions proceed
+    concurrently (full duplex), so the op completes after the slower of
+    the two transfers.
+    """
+
+    peer: int
+    send_bytes: float
+    recv_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.peer < 0:
+            raise ValueError("peer must be >= 0")
+        if self.send_bytes < 0 or self.recv_bytes < 0:
+            raise ValueError("sizes must be >= 0")
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    """Combined send to *dst* and receive from *src* (``MPI_Sendrecv``).
+
+    Both halves are posted simultaneously, which is what makes shifted
+    ring/all-to-all rounds deadlock-free under blocking semantics.
+    """
+
+    dst: int
+    send_bytes: float
+    src: int
+    recv_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.dst < 0 or self.src < 0:
+            raise ValueError("ranks must be >= 0")
+        if self.send_bytes < 0 or self.recv_bytes < 0:
+            raise ValueError("sizes must be >= 0")
+
+
+@dataclass(frozen=True)
+class Marker:
+    """Begin a new trace segment (LAM/MPI phase markers)."""
+
+    label: str = ""
+
+
+Op = Compute | Send | Recv | Exchange | SendRecv | Marker
+
+
+@dataclass
+class Program:
+    """A complete application program: one op stream per rank."""
+
+    name: str
+    nprocs: int
+    ops: list[list[Op]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if not self.ops:
+            self.ops = [[] for _ in range(self.nprocs)]
+        if len(self.ops) != self.nprocs:
+            raise ValueError("need one op stream per rank")
+
+    def validate(self) -> None:
+        """Check rank references and per-pair send/recv balance.
+
+        Balanced message counts per ordered pair are a necessary (not
+        sufficient) condition for deadlock freedom; the engine detects
+        any remaining deadlock at run time.
+        """
+        sent: dict[tuple[int, int], int] = {}
+        received: dict[tuple[int, int], int] = {}
+
+        def check_rank(r: int) -> None:
+            if not 0 <= r < self.nprocs:
+                raise ValueError(f"op references rank {r}, valid range is 0..{self.nprocs - 1}")
+
+        for rank, stream in enumerate(self.ops):
+            for op in stream:
+                if isinstance(op, Send):
+                    check_rank(op.dst)
+                    if op.dst == rank:
+                        raise ValueError(f"rank {rank} sends to itself")
+                    sent[(rank, op.dst)] = sent.get((rank, op.dst), 0) + 1
+                elif isinstance(op, Recv):
+                    check_rank(op.src)
+                    if op.src == rank:
+                        raise ValueError(f"rank {rank} receives from itself")
+                    received[(op.src, rank)] = received.get((op.src, rank), 0) + 1
+                elif isinstance(op, Exchange):
+                    check_rank(op.peer)
+                    if op.peer == rank:
+                        raise ValueError(f"rank {rank} exchanges with itself")
+                    sent[(rank, op.peer)] = sent.get((rank, op.peer), 0) + 1
+                    received[(op.peer, rank)] = received.get((op.peer, rank), 0) + 1
+                elif isinstance(op, SendRecv):
+                    check_rank(op.dst)
+                    check_rank(op.src)
+                    if op.dst == rank or op.src == rank:
+                        raise ValueError(f"rank {rank} sendrecvs with itself")
+                    sent[(rank, op.dst)] = sent.get((rank, op.dst), 0) + 1
+                    received[(op.src, rank)] = received.get((op.src, rank), 0) + 1
+        for pair in set(sent) | set(received):
+            if sent.get(pair, 0) != received.get(pair, 0):
+                raise ValueError(
+                    f"unbalanced channel {pair}: {sent.get(pair, 0)} sends vs "
+                    f"{received.get(pair, 0)} recvs"
+                )
+
+    @property
+    def total_work(self) -> float:
+        """Total abstract compute work across all ranks."""
+        return sum(op.work for stream in self.ops for op in stream if isinstance(op, Compute))
+
+    @property
+    def total_messages(self) -> int:
+        """Total point-to-point messages (Exchange counts as two)."""
+        count = 0
+        for stream in self.ops:
+            for op in stream:
+                if isinstance(op, (Send, SendRecv)):
+                    count += 1
+                elif isinstance(op, Exchange):
+                    count += 1  # the peer's Exchange contributes the other one
+        return count
+
+    def rank_ops(self, rank: int) -> list[Op]:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range")
+        return self.ops[rank]

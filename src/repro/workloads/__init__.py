@@ -1,0 +1,35 @@
+"""Workload models: NPB, HPL, ASCI Purple selection, synthetic benchmark."""
+
+from repro.workloads.asci import SAMRAI, SMG2000, Aztec, Sweep3D, Towhee
+from repro.workloads.base import WorkloadModel
+from repro.workloads.hpl import HPL, WORK_PER_FLOP
+from repro.workloads.irregular import IrregularApplication
+from repro.workloads.npb import BT, CG, EP, FT, IS, LU, MG, NPB_CLASSES, SP, NpbClassParams
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+from repro.workloads.phased import PhasedApplication
+from repro.workloads.synthetic import SyntheticBenchmark
+
+__all__ = [
+    "BT",
+    "CG",
+    "EP",
+    "FT",
+    "HPL",
+    "IS",
+    "IrregularApplication",
+    "LU",
+    "MG",
+    "NPB_CLASSES",
+    "NpbClassParams",
+    "PhasedApplication",
+    "ProgramBuilder",
+    "SAMRAI",
+    "SMG2000",
+    "SP",
+    "Sweep3D",
+    "SyntheticBenchmark",
+    "Towhee",
+    "WORK_PER_FLOP",
+    "WorkloadModel",
+    "grid_dims",
+]

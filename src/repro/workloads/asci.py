@@ -1,0 +1,202 @@
+"""Analytic models of the ASCI Purple benchmark selection (section 6.2).
+
+The five programs the paper schedules besides LU and HPL:
+
+* **sweep3d** — 3-D particle transport.  Structurally a wavefront code,
+  but the paper's profiles showed a *near all-to-all* aggregate pattern
+  (sweeps from all octants touch every neighbour direction), which is
+  why its potential speedup was "uncertain".  The model combines corner
+  wavefronts from two opposite corners with per-iteration angular-moment
+  all-to-alls.
+* **smg2000** — semicoarsening multigrid with three paper problem sizes
+  (12^3, 50^3, 60^3); heavier setup communication than NPB MG but clear
+  neighbour locality, hence a solid scheduling win.
+* **SAMRAI** — structured AMR framework; regridding produces near
+  all-to-all communication, again "uncertain".
+* **Towhee** — Monte Carlo molecular simulation, embarrassingly parallel
+  with insignificant communication, "uncertain".
+* **Aztec** — iterative sparse solver (Poisson run): 5-point halo plus
+  two dot-product allreduces per iteration; the paper's biggest
+  communication-only win (10.8 %).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulate.program import Program
+from repro.workloads.base import WorkloadModel
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+__all__ = ["Sweep3D", "SMG2000", "SAMRAI", "Towhee", "Aztec"]
+
+
+class Sweep3D(WorkloadModel):
+    """ASCI sweep3d: corner wavefronts + angular all-to-all moments."""
+
+    name = "sweep3d"
+    affinities = {"alpha-533": 1.03}
+
+    #: Angle-block pipelining depth of each corner sweep.
+    nblocks = 3
+
+    def __init__(self, *, niter: int = 10, work: float = 3.4, msg_bytes: float = 6.0e4):
+        self.niter = niter
+        self.work = work
+        self.msg_bytes = msg_bytes
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        rows, cols = grid_dims(nprocs, 2)
+        b = ProgramBuilder(self.name, nprocs)
+        face = self.msg_bytes / math.sqrt(nprocs) / self.nblocks
+        block_work = self.work / nprocs / (2 * self.nblocks)
+
+        def rank(i: int, j: int) -> int:
+            return i * cols + j
+
+        for _ in range(self.niter):
+            # Sweep from the (0,0) corner, pipelined over angle blocks...
+            for _ in range(self.nblocks):
+                for i in range(rows):
+                    for j in range(cols):
+                        g = rank(i, j)
+                        if i > 0:
+                            b.recv(g, rank(i - 1, j), face)
+                        if j > 0:
+                            b.recv(g, rank(i, j - 1), face)
+                        b.compute(g, block_work)
+                        if i < rows - 1:
+                            b.send(g, rank(i + 1, j), face)
+                        if j < cols - 1:
+                            b.send(g, rank(i, j + 1), face)
+            # ...and from the opposite corner.
+            for _ in range(self.nblocks):
+                for i in reversed(range(rows)):
+                    for j in reversed(range(cols)):
+                        g = rank(i, j)
+                        if i < rows - 1:
+                            b.recv(g, rank(i + 1, j), face)
+                        if j < cols - 1:
+                            b.recv(g, rank(i, j + 1), face)
+                        b.compute(g, block_work)
+                        if i > 0:
+                            b.send(g, rank(i - 1, j), face)
+                        if j > 0:
+                            b.send(g, rank(i, j - 1), face)
+            # Angular flux moments: the all-to-all component that makes
+            # the aggregate pattern mapping-insensitive.
+            b.alltoall(range(nprocs), face)
+        return b.build()
+
+
+class SMG2000(WorkloadModel):
+    """ASCI smg2000: semicoarsening multigrid, parameterised by size."""
+
+    affinities = {"alpha-533": 1.04, "sparc-500": 0.97}
+
+    def __init__(self, problem_size: int = 50, *, niter: int = 8):
+        if problem_size < 4:
+            raise ValueError("problem_size must be >= 4")
+        self.problem_size = int(problem_size)
+        self.niter = niter
+        self.name = f"smg2000.{problem_size}"
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        dims = grid_dims(nprocs, 3)
+        b = ProgramBuilder(self.name, nprocs)
+        s = self.problem_size
+        # Compute and face sizes both carry a fixed base term: the
+        # paper's 12^3 case takes 17 s, far more than pure s^3 scaling
+        # would allow, so per-iteration fixed costs dominate small
+        # problems.  Coefficients land the 12/50/60 cases near the
+        # paper's 17 s / 72 s / 127 s.
+        work_per_iter = 16.0 + 5.5e-4 * s**3
+        face = (1.3e5 + 170.0 * s**2) / max(dims[0], 1)
+        levels = max(2, min(5, int(math.log2(s)) - 1))
+        # Setup phase: box-neighbour discovery, small but chatty.
+        b.compute_all(work_per_iter / max(nprocs, 1))
+        b.alltoall(range(nprocs), 2048.0)
+        for _ in range(self.niter):
+            for half in range(2):
+                order = range(levels) if half == 0 else reversed(range(levels))
+                for level in order:
+                    shrink = 2.0**level  # semicoarsening halves one axis
+                    b.compute_all(work_per_iter / nprocs / (2 * levels) / (shrink**0.5))
+                    b.halo_exchange_grid(dims, [face / shrink] * 3)
+            b.allreduce(range(nprocs), 8.0)
+        return b.build()
+
+
+class SAMRAI(WorkloadModel):
+    """SAMRAI structured-AMR framework: regridding all-to-all traffic."""
+
+    name = "samrai"
+    affinities = {"pii-400": 1.02}
+
+    def __init__(self, *, niter: int = 6, work: float = 58.0, msg_bytes: float = 2.4e4):
+        self.niter = niter
+        self.work = work
+        self.msg_bytes = msg_bytes
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        per_pair = self.msg_bytes / max(nprocs - 1, 1) * 4.0  # regrid fan-out
+        for _ in range(self.niter):
+            b.compute_all(self.work / self.niter / nprocs)
+            # Patch redistribution after regridding touches everyone.
+            b.alltoall(range(nprocs), per_pair)
+            b.allreduce(range(nprocs), 64.0)
+        return b.build()
+
+
+class Towhee(WorkloadModel):
+    """MCCCS Towhee: embarrassingly parallel Monte Carlo."""
+
+    name = "towhee"
+
+    def __init__(self, *, work: float = 420.0):
+        self.work = work
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        b.bcast(range(nprocs), 0, 4096.0)  # input force field
+        b.compute_all(self.work / nprocs)
+        b.reduce(range(nprocs), 0, 1024.0)  # ensemble averages
+        return b.build()
+
+
+class Aztec(WorkloadModel):
+    """Aztec iterative solver (Poisson problem): 5-point halo CG."""
+
+    affinities = {"alpha-533": 1.05, "sparc-500": 0.94}
+
+    def __init__(self, problem_size: int = 500, *, niter: int = 30):
+        if problem_size < 8:
+            raise ValueError("problem_size must be >= 8")
+        self.problem_size = int(problem_size)
+        self.niter = niter
+        self.name = f"aztec.{problem_size}"
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        dims = grid_dims(nprocs, 2)
+        b = ProgramBuilder(self.name, nprocs)
+        s = self.problem_size
+        # Unknowns ~ s^2 (2-D Poisson grid); halo ~ s / sqrt(n) doubles.
+        work_per_iter = 0.92e-4 * s**2
+        halo = 2100.0 * s / math.sqrt(nprocs)
+        for _ in range(self.niter):
+            b.compute_all(work_per_iter / nprocs)
+            b.halo_exchange_grid(dims, [halo, halo])
+            b.allreduce(range(nprocs), 8.0)
+            b.allreduce(range(nprocs), 8.0)
+        return b.build()

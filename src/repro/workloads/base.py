@@ -1,0 +1,55 @@
+"""Workload model base class.
+
+A workload model is an analytic stand-in for a real application: given a
+process count it emits the :class:`~repro.simulate.program.Program` the
+application would execute — compute bursts plus the communication
+pattern — and declares the application's true relative speed on each
+architecture (``arch_affinity``, the quantity the profiling subsystem
+*measures* into the profile).
+
+Models satisfy :class:`repro.core.service.ApplicationModel`, so they can
+be profiled and scheduled through the CBES facade directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.simulate.program import Program
+
+__all__ = ["WorkloadModel"]
+
+
+class WorkloadModel(ABC):
+    """Base class for analytic application models."""
+
+    #: Application name (profile database key).  Subclasses must set it.
+    name: str = ""
+
+    #: Relative speed multipliers per architecture name.  The default is
+    #: architecture-neutral; memory- or cache-sensitive codes override.
+    affinities: dict[str, float] = {}
+
+    def __init__(self) -> None:
+        if not self.name:
+            raise ValueError(f"{type(self).__name__} must define a name")
+
+    @abstractmethod
+    def program(self, nprocs: int) -> Program:
+        """The application's op streams for *nprocs* processes."""
+
+    def arch_affinity(self, arch_name: str) -> float:
+        """Application-specific speed multiplier on one architecture."""
+        return self.affinities.get(arch_name, 1.0)
+
+    def valid_nprocs(self, nprocs: int) -> bool:
+        """Whether the model supports this process count (default: any >= 1)."""
+        return nprocs >= 1
+
+    def _check_nprocs(self, nprocs: int) -> int:
+        if not self.valid_nprocs(nprocs):
+            raise ValueError(f"{self.name} does not support nprocs={nprocs}")
+        return nprocs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,96 @@
+"""Analytic model of High Performance Linpack (HPL).
+
+Right-looking LU factorization with a 2-D block-cyclic layout: for each
+column panel, the owning process column factors it, broadcasts it along
+the process rows, the owning row broadcasts the U block along process
+columns, and everyone updates their share of the shrinking trailing
+matrix.  Compute is the textbook ``2/3 N^3`` flops, converted to work
+units at ``WORK_PER_FLOP`` (1 work unit = 1 second on the PII-400).
+
+The paper's three cases are N = 500 ("HPL(1)", too short to schedule
+meaningfully), 5 000 and 10 000.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulate.program import Program
+from repro.workloads.base import WorkloadModel
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+__all__ = ["HPL", "WORK_PER_FLOP"]
+
+#: Abstract work units per floating-point operation.  Calibrated so
+#: HPL N=10000 on 8 nodes lands in the several-hundred-second range of
+#: table 3 with a ~80/20 computation-to-communication split.
+WORK_PER_FLOP = 4.8e-9
+
+
+class HPL(WorkloadModel):
+    """HPL dense LU solver model.
+
+    Parameters
+    ----------
+    n:
+        Problem size (matrix dimension).
+    nb:
+        Block (panel) width.  Panels are aggregated so no run emits
+        more than ``max_steps`` factorization steps, keeping the event
+        count bounded for very large ``n/nb``.
+    """
+
+    affinities = {"alpha-533": 0.97, "pii-400": 1.03}
+
+    def __init__(self, n: int = 10000, nb: int = 250, *, max_steps: int = 40):
+        if n < 1 or nb < 1:
+            raise ValueError("n and nb must be >= 1")
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        self.n = int(n)
+        self.nb = int(nb)
+        self.max_steps = int(max_steps)
+        self.name = f"hpl.{n}"
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        prows, pcols = grid_dims(nprocs, 2)
+        b = ProgramBuilder(self.name, nprocs)
+        npanels = max(1, self.n // self.nb)
+        # Aggregate panels into at most max_steps factorization steps.
+        agg = max(1, math.ceil(npanels / self.max_steps))
+        steps = math.ceil(npanels / agg)
+        nb_eff = self.nb * agg
+
+        def grid_rank(i: int, j: int) -> int:
+            return i * pcols + j
+
+        for k in range(steps):
+            trailing = max(self.n - k * nb_eff, nb_eff)
+            owner_col = k % pcols
+            owner_row = k % prows
+            # Panel factorization on the owning process column.
+            panel_flops = trailing * nb_eff * nb_eff
+            for i in range(prows):
+                b.compute(grid_rank(i, owner_col), panel_flops * WORK_PER_FLOP / prows)
+            # Broadcast the panel along each process row.
+            # Only the lower-triangular half of the panel travels.
+            panel_bytes = 6.5 * trailing * nb_eff / prows
+            if pcols > 1:
+                for i in range(prows):
+                    row_group = [grid_rank(i, j) for j in range(pcols)]
+                    b.bcast(row_group, grid_rank(i, owner_col), panel_bytes)
+            # Broadcast the U block along each process column.
+            u_bytes = 6.5 * trailing * nb_eff / pcols
+            if prows > 1:
+                for j in range(pcols):
+                    col_group = [grid_rank(i, j) for i in range(prows)]
+                    b.bcast(col_group, grid_rank(owner_row, j), u_bytes)
+            # Trailing matrix update, spread over the whole grid.
+            update_flops = 2.0 * trailing * trailing * nb_eff
+            b.compute_all(update_flops * WORK_PER_FLOP / nprocs)
+        # Back-substitution: a ring of partial solutions.
+        b.ring_shift(range(nprocs), 8.0 * self.n / max(nprocs, 1))
+        b.allreduce(range(nprocs), 8.0)
+        return b.build()

@@ -1,0 +1,134 @@
+"""Irregular applications (paper section 8, last future-work item).
+
+*"Finally, we will conduct further testing using a larger variety of
+parallel applications, including applications with irregular computation
+and/or communication patterns."*
+
+:class:`IrregularApplication` models the adversarial case for profile-
+driven scheduling: per-rank compute volumes drawn from a heavy-tailed
+distribution and a sparse random communication graph, both optionally
+*drifting* between marker-delimited epochs (so a profile of epoch 0
+misrepresents epoch k — the situation the internal remap trigger
+exists for).  The generator is fully seeded: the "irregularity" is in
+the structure, not in nondeterminism.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive, spawn_rng
+from repro.simulate.program import Program
+from repro.workloads.base import WorkloadModel
+from repro.workloads.patterns import ProgramBuilder
+
+__all__ = ["IrregularApplication"]
+
+
+class IrregularApplication(WorkloadModel):
+    """Heavy-tailed compute + sparse random communication, with drift.
+
+    Parameters
+    ----------
+    epochs:
+        Marker-delimited phases; each re-draws imbalance and graph.
+    steps_per_epoch:
+        Compute/communicate supersteps per epoch.
+    work:
+        Mean total compute work across all ranks per epoch.
+    imbalance:
+        Sigma of the log-normal per-rank work multiplier (0 = regular).
+    degree:
+        Average out-degree of the random communication graph.
+    msg_bytes:
+        Mean message size (also log-normal per edge).
+    drift:
+        0..1 — how much each epoch's structure departs from epoch 0
+        (0 reuses the same draw every epoch; 1 redraws independently).
+    structure_seed:
+        Seed of the structural draws (a *model parameter*: the same
+        seed is the same application).
+    """
+
+    name = "irregular"
+
+    def __init__(
+        self,
+        *,
+        epochs: int = 3,
+        steps_per_epoch: int = 6,
+        work: float = 40.0,
+        imbalance: float = 0.6,
+        degree: float = 2.0,
+        msg_bytes: float = 4.0e5,
+        drift: float = 0.5,
+        structure_seed: int = 0,
+    ) -> None:
+        if epochs < 1 or steps_per_epoch < 1:
+            raise ValueError("epochs and steps_per_epoch must be >= 1")
+        check_positive(work, "work")
+        if imbalance < 0:
+            raise ValueError("imbalance must be >= 0")
+        check_positive(degree, "degree")
+        check_positive(msg_bytes, "msg_bytes")
+        if not 0.0 <= drift <= 1.0:
+            raise ValueError("drift must be in [0, 1]")
+        self.epochs = epochs
+        self.steps_per_epoch = steps_per_epoch
+        self.work = work
+        self.imbalance = imbalance
+        self.degree = degree
+        self.msg_bytes = msg_bytes
+        self.drift = drift
+        self.structure_seed = structure_seed
+        self.name = f"irregular.s{structure_seed}"
+        super().__init__()
+
+    # -- structure draws -------------------------------------------------
+    def _epoch_structure(self, epoch: int, nprocs: int):
+        """(per-rank work weights, communication edges) for one epoch."""
+        base = spawn_rng(self.structure_seed, "irr-structure", self.name, nprocs, 0)
+        weights = base.lognormal(0.0, self.imbalance, size=nprocs)
+        edges = self._draw_edges(base, nprocs)
+        if epoch > 0 and self.drift > 0:
+            per_epoch = spawn_rng(self.structure_seed, "irr-structure", self.name, nprocs, epoch)
+            new_weights = per_epoch.lognormal(0.0, self.imbalance, size=nprocs)
+            weights = (1.0 - self.drift) * weights + self.drift * new_weights
+            if per_epoch.random() < self.drift:
+                edges = self._draw_edges(per_epoch, nprocs)
+        weights = weights / weights.mean()
+        return weights, edges
+
+    def _draw_edges(self, rng, nprocs: int):
+        edges = []
+        if nprocs < 2:
+            return edges
+        for src in range(nprocs):
+            fanout = max(1, int(round(rng.poisson(self.degree))))
+            peers = rng.choice(nprocs - 1, size=min(fanout, nprocs - 1), replace=False)
+            for p in peers:
+                dst = int(p) + (1 if int(p) >= src else 0)
+                size = float(rng.lognormal(0.0, 0.5) * self.msg_bytes)
+                edges.append((src, dst, size))
+        return edges
+
+    # -- program -----------------------------------------------------------
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        for epoch in range(self.epochs):
+            if epoch > 0:
+                b.marker_all(f"epoch{epoch}")
+            weights, edges = self._epoch_structure(epoch, nprocs)
+            step_work = self.work / self.steps_per_epoch / nprocs
+            for _ in range(self.steps_per_epoch):
+                b.compute_all(lambda r, w=weights: step_work * float(w[r]))
+                # Sparse graph exchange.  Send and receive ops are laid
+                # out in one global edge order, so every rank handles
+                # its incident edges in the same sequence — the standard
+                # argument that makes blocking exchanges on an arbitrary
+                # graph deadlock-free (edge k's endpoints only wait on
+                # edges < k, which complete by induction).
+                for src, dst, size in edges:
+                    b.send(src, dst, size)
+                    b.recv(dst, src, size)
+                b.allreduce(range(nprocs), 16.0)  # convergence check
+        return b.build()

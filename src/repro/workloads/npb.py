@@ -1,0 +1,349 @@
+"""Analytic models of the NAS Parallel Benchmarks (NPB 2.4).
+
+Each model reproduces the benchmark's *communication structure* (who
+talks to whom, how often, with what relative sizes) and its compute
+volume, scaled so that a run takes seconds-to-minutes of simulated time
+— the same regime as the paper's measurements.  Work is expressed in
+abstract units where 1 unit = 1 second on the reference PII-400
+architecture (base speed 1.0).
+
+Supported benchmarks and paper usage:
+
+========  ==============================  =========================
+model     pattern                          figure 5 cases
+========  ==============================  =========================
+``IS``    all-to-all bucket exchange       IS-A
+``EP``    embarrassingly parallel          EP-B
+``CG``    row-group reductions+transpose   CG-A
+``MG``    3-D V-cycle halos                MG-A, MG-B
+``LU``    2-D SSOR wavefront               LU-A, LU-B (+ section 6)
+``BT``    3-sweep ADI on a square grid     BT-S, BT-A, BT-B
+``SP``    3-sweep ADI, finer messages      SP-A, SP-B
+========  ==============================  =========================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulate.program import Program
+from repro.workloads.base import WorkloadModel
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+__all__ = ["NpbClassParams", "NPB_CLASSES", "IS", "EP", "CG", "MG", "LU", "BT", "SP", "FT"]
+
+
+@dataclass(frozen=True)
+class NpbClassParams:
+    """Scaling knobs of one NPB problem class."""
+
+    letter: str
+    #: Total compute work across all ranks, per iteration (unit = PII-second).
+    work: float
+    #: Base neighbour message size in bytes (before decomposition scaling).
+    msg_bytes: float
+    #: Iteration count (scaled down from the real codes to keep the
+    #: event count laptop-friendly; relative shape is preserved).
+    niter: int
+
+
+#: Class S is the tiny sample size, A and B the paper's two main classes.
+NPB_CLASSES: dict[str, dict[str, NpbClassParams]] = {
+    "LU": {
+        "S": NpbClassParams("S", work=1.2, msg_bytes=1.0e5, niter=12),
+        "A": NpbClassParams("A", work=36.0, msg_bytes=4.8e6, niter=40),
+        "B": NpbClassParams("B", work=90.0, msg_bytes=7.5e6, niter=48),
+    },
+    "BT": {
+        "S": NpbClassParams("S", work=1.2, msg_bytes=8.0e4, niter=10),
+        "A": NpbClassParams("A", work=48.0, msg_bytes=1.2e6, niter=30),
+        "B": NpbClassParams("B", work=120.0, msg_bytes=2.0e6, niter=36),
+    },
+    "SP": {
+        "S": NpbClassParams("S", work=1.0, msg_bytes=6.0e4, niter=12),
+        "A": NpbClassParams("A", work=32.0, msg_bytes=1.0e6, niter=36),
+        "B": NpbClassParams("B", work=84.0, msg_bytes=1.8e6, niter=42),
+    },
+    "MG": {
+        "A": NpbClassParams("A", work=22.0, msg_bytes=6.0e5, niter=16),
+        "B": NpbClassParams("B", work=52.0, msg_bytes=1.1e6, niter=20),
+    },
+    "CG": {
+        "A": NpbClassParams("A", work=16.0, msg_bytes=8.0e5, niter=30),
+        "B": NpbClassParams("B", work=40.0, msg_bytes=1.5e6, niter=36),
+    },
+    "IS": {
+        "A": NpbClassParams("A", work=6.0, msg_bytes=4.0e6, niter=8),
+        "B": NpbClassParams("B", work=14.0, msg_bytes=9.0e6, niter=8),
+    },
+    "EP": {
+        "A": NpbClassParams("A", work=220.0, msg_bytes=16.0, niter=1),
+        "B": NpbClassParams("B", work=500.0, msg_bytes=16.0, niter=1),
+    },
+    "FT": {
+        "A": NpbClassParams("A", work=20.0, msg_bytes=8.0e6, niter=6),
+        "B": NpbClassParams("B", work=52.0, msg_bytes=1.8e7, niter=10),
+    },
+}
+
+
+class _NpbBase(WorkloadModel):
+    """Shared plumbing: class lookup and naming."""
+
+    benchmark: str = ""
+
+    def __init__(self, npb_class: str = "A"):
+        params = NPB_CLASSES.get(self.benchmark, {}).get(npb_class)
+        if params is None:
+            valid = sorted(NPB_CLASSES.get(self.benchmark, {}))
+            raise ValueError(
+                f"{self.benchmark} has no class {npb_class!r}; valid classes: {valid}"
+            )
+        self.npb_class = npb_class
+        self.params = params
+        self.name = f"{self.benchmark.lower()}.{npb_class}"
+        super().__init__()
+
+
+class LU(_NpbBase):
+    """NPB LU: SSOR solver, 2-D pipelined wavefront sweeps.
+
+    Per iteration: a lower-triangular wavefront (receive from north and
+    west, compute, send south and east) and the mirrored upper sweep,
+    with a residual-norm allreduce every five iterations.  LU's fine
+    communication granularity is what makes it mapping-sensitive — the
+    paper's section 6 workhorse.
+    """
+
+    benchmark = "LU"
+    #: LU's SSOR kernel is cache-sensitive: it runs relatively well on
+    #: the large-cache Alpha and poorly on the small-cache PII, which is
+    #: what separates the figure-6 medium zone from the high zone.
+    affinities = {"alpha-533": 1.04, "pii-400": 0.92, "sparc-500": 0.96}
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        rows, cols = grid_dims(nprocs, 2)
+        dims = (rows, cols)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        face = p.msg_bytes / math.sqrt(nprocs)
+        half_work = p.work / nprocs / 2
+
+        def sweep(step: int) -> None:
+            """One SSOR sweep: aggregated face flows along both grid
+            dimensions in the sweep direction.  The per-k-plane pencil
+            messages of the real code are modelled at sweep granularity
+            (periodic in the aggregate, so every rank carries the same
+            message count — which keeps per-rank blocked time
+            proportional to the per-pair latencies of its mapping, the
+            property eq. 7 relies on)."""
+            for axis in range(2):
+                if dims[axis] > 1:
+                    for line in ProgramBuilder._grid_lines(dims, axis):
+                        ring = line if step > 0 else list(reversed(line))
+                        b.ring_shift(ring, face)
+
+        for it in range(p.niter):
+            sweep(+1)  # lower-triangular solve, flowing from (0, 0)
+            b.compute_all(half_work)
+            sweep(-1)  # upper-triangular solve, flowing back
+            b.compute_all(half_work)
+            if it % 5 == 4:
+                b.allreduce(range(nprocs), 40.0)  # residual norms
+        return b.build()
+
+
+class BT(_NpbBase):
+    """NPB BT: block-tridiagonal ADI, three directional sweep phases.
+
+    Runs on a square process count; each iteration exchanges faces in
+    the x, y and z sweep directions on the 2-D process grid, with BT's
+    characteristically large messages.
+    """
+
+    benchmark = "BT"
+    affinities = {"alpha-533": 1.02}
+
+    def valid_nprocs(self, nprocs: int) -> bool:
+        root = math.isqrt(nprocs)
+        return root * root == nprocs and nprocs >= 1
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        side = math.isqrt(nprocs)
+        dims = (side, side)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        face = p.msg_bytes / max(side, 1)
+        work_per_rank = p.work / nprocs
+        for _ in range(p.niter):
+            # x, y sweeps exchange along the two grid dimensions; the z
+            # sweep is rank-local for a 2-D decomposition but still
+            # contributes compute.
+            for sweep in range(3):
+                b.compute_all(work_per_rank / 3)
+                if sweep < 2 and side > 1:
+                    b.halo_exchange_grid(dims, [face if d == sweep else 0.0 for d in range(2)])
+        return b.build()
+
+
+class SP(_NpbBase):
+    """NPB SP: scalar-pentadiagonal ADI — BT's pattern, finer messages."""
+
+    benchmark = "SP"
+    affinities = {"alpha-533": 1.02}
+
+    def valid_nprocs(self, nprocs: int) -> bool:
+        root = math.isqrt(nprocs)
+        return root * root == nprocs and nprocs >= 1
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        side = math.isqrt(nprocs)
+        dims = (side, side)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        # SP sends twice as many messages at half the size as BT.
+        face = p.msg_bytes / max(side, 1) / 2.0
+        work_per_rank = p.work / nprocs
+        for _ in range(p.niter):
+            for sweep in range(3):
+                b.compute_all(work_per_rank / 3)
+                if sweep < 2 and side > 1:
+                    sizes = [face if d == sweep else 0.0 for d in range(2)]
+                    b.halo_exchange_grid(dims, sizes)
+                    b.halo_exchange_grid(dims, sizes)
+        return b.build()
+
+
+class MG(_NpbBase):
+    """NPB MG: 3-D multigrid V-cycle.
+
+    Halo sizes shrink by 4x per level down the cycle (surface area of a
+    halved grid); the coarsest level ends in a small allreduce.
+    """
+
+    benchmark = "MG"
+    affinities = {"alpha-533": 1.05, "sparc-500": 0.97}
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        dims = grid_dims(nprocs, 3)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        levels = 4
+        work_per_rank = p.work / nprocs
+        for _ in range(p.niter):
+            # Down the V: restrict; up the V: prolongate.
+            for half in range(2):
+                level_order = range(levels) if half == 0 else reversed(range(levels))
+                for level in level_order:
+                    shrink = 4.0**level
+                    face = p.msg_bytes / shrink / max(dims[0], 1)
+                    b.compute_all(work_per_rank / (2 * levels) / (8.0**level * 0.4 + 0.6))
+                    b.halo_exchange_grid(dims, [face] * 3)
+            b.allreduce(range(nprocs), 8.0)
+        return b.build()
+
+
+class CG(_NpbBase):
+    """NPB CG: conjugate gradient on a 2-D process grid.
+
+    Per iteration: a row-group reduction of the matrix-vector product, a
+    transpose exchange with the mirror rank, and two scalar dot-product
+    allreduces.
+    """
+
+    benchmark = "CG"
+    affinities = {"alpha-533": 1.06, "sparc-500": 0.95}
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        rows, cols = grid_dims(nprocs, 2)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        vec = p.msg_bytes / max(cols, 1)
+        work_per_rank = p.work / nprocs
+        for _ in range(p.niter):
+            b.compute_all(work_per_rank)
+            for r in range(rows):
+                row_group = [r * cols + c for c in range(cols)]
+                b.allreduce(row_group, vec)
+            if rows == cols:
+                # Transpose exchange with the mirror rank.
+                for i in range(rows):
+                    for j in range(i + 1, cols):
+                        b.exchange(i * cols + j, j * cols + i, vec)
+            b.allreduce(range(nprocs), 8.0)
+            b.allreduce(range(nprocs), 8.0)
+        return b.build()
+
+
+class IS(_NpbBase):
+    """NPB IS: integer bucket sort — the all-to-all benchmark.
+
+    Per iteration: local bucket counting, a small all-to-all of bucket
+    sizes, the large all-to-all of the keys themselves, and a
+    verification allreduce.
+    """
+
+    benchmark = "IS"
+    affinities = {"pii-400": 1.03}
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        keys_per_pair = p.msg_bytes / max(nprocs - 1, 1)
+        for _ in range(p.niter):
+            b.compute_all(p.work / nprocs)
+            b.alltoall(range(nprocs), 4.0 * nprocs)
+            b.alltoall(range(nprocs), keys_per_pair)
+            b.allreduce(range(nprocs), 8.0)
+        return b.build()
+
+
+class EP(_NpbBase):
+    """NPB EP: embarrassingly parallel random-number kernel.
+
+    Pure compute followed by three tiny sum reductions — the benchmark
+    the paper expects to be mapping-insensitive.
+    """
+
+    benchmark = "EP"
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        b.compute_all(p.work / nprocs)
+        for _ in range(3):
+            b.allreduce(range(nprocs), p.msg_bytes)
+        return b.build()
+
+
+class FT(_NpbBase):
+    """NPB FT: 3-D FFT — the transpose (all-to-all) benchmark.
+
+    Each iteration performs local FFT compute plus a full transpose of
+    the distributed array, which is a personalised all-to-all of
+    ``volume / nprocs^2`` bytes per pair; a checksum allreduce closes
+    the iteration.  FT is the most network-bisection-hungry NPB kernel.
+    """
+
+    benchmark = "FT"
+    affinities = {"alpha-533": 1.05}
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        p = self.params
+        per_pair = p.msg_bytes / max(nprocs * nprocs, 1)
+        b.compute_all(p.work / nprocs / 2)  # forward FFT of the input
+        for _ in range(p.niter):
+            b.compute_all(p.work / nprocs / max(p.niter, 1))
+            b.alltoall(range(nprocs), per_pair)
+            b.allreduce(range(nprocs), 32.0)
+        return b.build()

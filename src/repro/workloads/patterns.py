@@ -1,0 +1,345 @@
+"""Communication pattern builders.
+
+Workload models describe applications in terms of MPI collectives and
+halo exchanges; the engine only speaks blocking point-to-point.  The
+:class:`ProgramBuilder` bridges the two: every collective is decomposed
+into the standard point-to-point algorithm (binomial trees, recursive
+doubling, shifted rings), which is also exactly what the application
+profile must contain — eq. (6) operates on the constituent message
+groups, not on opaque collectives.
+
+All group operations take a list of *global* rank ids, so models can run
+collectives over sub-communicators (rows/columns of a process grid).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.simulate.program import (
+    Compute,
+    Exchange,
+    Marker,
+    Op,
+    Program,
+    Recv,
+    Send,
+    SendRecv,
+)
+
+__all__ = ["ProgramBuilder", "grid_dims"]
+
+
+def grid_dims(n: int, ndims: int = 2) -> tuple[int, ...]:
+    """Balanced near-square factorization of *n* into *ndims* factors.
+
+    Mirrors ``MPI_Dims_create``: factors are as close to each other as
+    possible, in non-increasing order.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if ndims < 1:
+        raise ValueError("ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = n
+    # Greedily peel off prime factors onto the currently smallest dim.
+    factor = 2
+    primes: list[int] = []
+    while factor * factor <= remaining:
+        while remaining % factor == 0:
+            primes.append(factor)
+            remaining //= factor
+        factor += 1
+    if remaining > 1:
+        primes.append(remaining)
+    for p in sorted(primes, reverse=True):
+        smallest = min(range(ndims), key=lambda i: dims[i])
+        dims[smallest] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+class ProgramBuilder:
+    """Accumulates per-rank op streams and assembles a Program."""
+
+    def __init__(self, name: str, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.name = name
+        self.nprocs = nprocs
+        self._streams: list[list[Op]] = [[] for _ in range(nprocs)]
+
+    # -- elementary ops ---------------------------------------------------
+    def compute(self, rank: int, work: float) -> None:
+        """Append *work* units of application compute on one rank."""
+        if work > 0:
+            self._stream(rank).append(Compute(work))
+
+    def compute_all(self, work: float | Callable[[int], float]) -> None:
+        """Append compute on every rank (constant or per-rank callable)."""
+        for rank in range(self.nprocs):
+            self.compute(rank, work(rank) if callable(work) else work)
+
+    def send(self, src: int, dst: int, size: float) -> None:
+        self._stream(src).append(Send(dst, size))
+
+    def recv(self, dst: int, src: int, size: float) -> None:
+        self._stream(dst).append(Recv(src, size))
+
+    def exchange(self, a: int, b: int, size: float, size_back: float | None = None) -> None:
+        """A symmetric pairwise swap: both ranks get a matched Exchange."""
+        self._stream(a).append(Exchange(b, size, size if size_back is None else size_back))
+        self._stream(b).append(Exchange(a, size if size_back is None else size_back, size))
+
+    def sendrecv(self, rank: int, dst: int, send_size: float, src: int, recv_size: float) -> None:
+        self._stream(rank).append(SendRecv(dst, send_size, src, recv_size))
+
+    def marker_all(self, label: str = "") -> None:
+        """Begin a new trace segment on every rank (LAM/MPI markers)."""
+        for stream in self._streams:
+            stream.append(Marker(label))
+
+    # -- collectives -------------------------------------------------------
+    def bcast(self, group: Sequence[int], root: int, size: float) -> None:
+        """Binomial-tree broadcast of *size* bytes from *root* over *group*."""
+        ranks, rootidx = self._group(group, root)
+        n = len(ranks)
+        if n == 1 or size <= 0:
+            return
+        stages = max(1, math.ceil(math.log2(n)))
+        for stage in range(stages):
+            mask = 1 << stage
+            for v in range(n):
+                g = ranks[(v + rootidx) % n]
+                if v < mask:
+                    partner = v + mask
+                    if partner < n:
+                        self.send(g, ranks[(partner + rootidx) % n], size)
+                elif v < 2 * mask:
+                    self.recv(g, ranks[(v - mask + rootidx) % n], size)
+
+    def reduce(self, group: Sequence[int], root: int, size: float) -> None:
+        """Binomial-tree reduction of *size* bytes to *root*."""
+        ranks, rootidx = self._group(group, root)
+        n = len(ranks)
+        if n == 1 or size <= 0:
+            return
+        stages = max(1, math.ceil(math.log2(n)))
+        for stage in reversed(range(stages)):
+            mask = 1 << stage
+            for v in range(n):
+                g = ranks[(v + rootidx) % n]
+                if v < mask:
+                    partner = v + mask
+                    if partner < n:
+                        self.recv(g, ranks[(partner + rootidx) % n], size)
+                elif v < 2 * mask:
+                    self.send(g, ranks[(v - mask + rootidx) % n], size)
+
+    def allreduce(self, group: Sequence[int], size: float) -> None:
+        """Recursive-doubling allreduce with non-power-of-two folding."""
+        ranks = list(dict.fromkeys(group))
+        n = len(ranks)
+        if n <= 1 or size <= 0:
+            return
+        n2 = 1 << (n.bit_length() - 1)
+        if n2 == n:
+            core = ranks
+        else:
+            rem = n - n2
+            # Fold: odd ranks among the first 2*rem hand their data over
+            # and sit out, then get the result back at the end.
+            for r in range(2 * rem):
+                if r % 2 == 1:
+                    self.send(ranks[r], ranks[r - 1], size)
+                else:
+                    self.recv(ranks[r], ranks[r + 1], size)
+            core = [ranks[r] for r in range(2 * rem) if r % 2 == 0] + ranks[2 * rem :]
+        stages = int(math.log2(len(core)))
+        for stage in range(stages):
+            mask = 1 << stage
+            for v, g in enumerate(core):
+                partner = v ^ mask
+                if partner > v:
+                    self.exchange(g, core[partner], size)
+        if n2 != n:
+            rem = n - n2
+            for r in range(2 * rem):
+                if r % 2 == 1:
+                    self.recv(ranks[r], ranks[r - 1], size)
+                else:
+                    self.send(ranks[r], ranks[r + 1], size)
+
+    def barrier(self, group: Sequence[int]) -> None:
+        """Synchronize a group (a 4-byte allreduce, like many MPIs)."""
+        self.allreduce(group, 4.0)
+
+    def alltoall(self, group: Sequence[int], size: float) -> None:
+        """Personalized all-to-all: n-1 shifted SendRecv rounds."""
+        ranks = list(dict.fromkeys(group))
+        n = len(ranks)
+        if n <= 1 or size <= 0:
+            return
+        for round_ in range(1, n):
+            for v, g in enumerate(ranks):
+                dst = ranks[(v + round_) % n]
+                src = ranks[(v - round_) % n]
+                self.sendrecv(g, dst, size, src, size)
+
+    def gather(self, group: Sequence[int], root: int, size: float) -> None:
+        """Binomial gather: message sizes double up the tree."""
+        ranks, rootidx = self._group(group, root)
+        n = len(ranks)
+        if n == 1 or size <= 0:
+            return
+        stages = max(1, math.ceil(math.log2(n)))
+        for stage in range(stages):
+            mask = 1 << stage
+            for v in range(n):
+                g = ranks[(v + rootidx) % n]
+                if v % (2 * mask) == 0:
+                    partner = v + mask
+                    if partner < n:
+                        chunk = size * min(mask, n - partner)
+                        self.recv(g, ranks[(partner + rootidx) % n], chunk)
+                elif v % (2 * mask) == mask:
+                    chunk = size * min(mask, n - v)
+                    self.send(g, ranks[(v - mask + rootidx) % n], chunk)
+
+    def scatter(self, group: Sequence[int], root: int, size: float) -> None:
+        """Binomial scatter: message sizes halve down the tree."""
+        ranks, rootidx = self._group(group, root)
+        n = len(ranks)
+        if n == 1 or size <= 0:
+            return
+        stages = max(1, math.ceil(math.log2(n)))
+        for stage in reversed(range(stages)):
+            mask = 1 << stage
+            for v in range(n):
+                g = ranks[(v + rootidx) % n]
+                if v % (2 * mask) == 0:
+                    partner = v + mask
+                    if partner < n:
+                        chunk = size * min(mask, n - partner)
+                        self.send(g, ranks[(partner + rootidx) % n], chunk)
+                elif v % (2 * mask) == mask:
+                    chunk = size * min(mask, n - v)
+                    self.recv(g, ranks[(v - mask + rootidx) % n], chunk)
+
+    # -- halo / shift patterns ----------------------------------------------
+    def ring_shift(self, group: Sequence[int], size: float) -> None:
+        """Periodic ring: everyone SendRecv's to the next rank."""
+        ranks = list(dict.fromkeys(group))
+        n = len(ranks)
+        if n <= 1 or size <= 0:
+            return
+        for v, g in enumerate(ranks):
+            self.sendrecv(g, ranks[(v + 1) % n], size, ranks[(v - 1) % n], size)
+
+    def pairwise_exchange(self, group: Sequence[int], size: float, *, phase: int = 0) -> None:
+        """Disjoint-pair exchange along a line of ranks (even-odd halo).
+
+        ``phase=0`` pairs ``(0,1), (2,3), ...``; ``phase=1`` pairs
+        ``(1,2), (3,4), ...`` plus the wrap pair when the group size is
+        even.  Because the pairs are disjoint, timing skew stays inside
+        each pair instead of propagating around a chain — which keeps
+        each rank's blocked time proportional to its own pair latencies
+        (the property eq. 7 extrapolation relies on).
+        """
+        ranks = list(dict.fromkeys(group))
+        n = len(ranks)
+        if n <= 1 or size <= 0:
+            return
+        start = phase % 2
+        for i in range(start, n - 1, 2):
+            self.exchange(ranks[i], ranks[i + 1], size)
+        if start == 1 and n % 2 == 0:
+            self.exchange(ranks[-1], ranks[0], size)
+
+    def shift(self, group: Sequence[int], size: float, *, step: int = 1) -> None:
+        """Non-periodic shift along a line of ranks.
+
+        Every rank sends *size* to the rank *step* positions over (if it
+        exists) and receives from the rank *step* positions back.
+        """
+        ranks = list(dict.fromkeys(group))
+        n = len(ranks)
+        if n <= 1 or size <= 0 or step == 0:
+            return
+        for v, g in enumerate(ranks):
+            dst = v + step
+            src = v - step
+            has_dst = 0 <= dst < n
+            has_src = 0 <= src < n
+            if has_dst and has_src:
+                self.sendrecv(g, ranks[dst], size, ranks[src], size)
+            elif has_dst:
+                self.send(g, ranks[dst], size)
+            elif has_src:
+                self.recv(g, ranks[src], size)
+
+    def halo_exchange_grid(
+        self, dims: tuple[int, ...], sizes: Sequence[float]
+    ) -> None:
+        """Face halo swap on a Cartesian process grid (row-major ranks).
+
+        ``sizes[d]`` is the per-direction message size along dimension
+        ``d``.  Each dimension does a +shift then a -shift, the standard
+        non-periodic halo idiom.
+        """
+        total = math.prod(dims)
+        if total != self.nprocs:
+            raise ValueError(f"grid {dims} has {total} ranks, builder has {self.nprocs}")
+        if len(sizes) != len(dims):
+            raise ValueError("need one size per dimension")
+        for d, size in enumerate(sizes):
+            if dims[d] == 1 or size <= 0:
+                continue
+            for line in self._grid_lines(dims, d):
+                self.shift(line, size, step=1)
+                self.shift(line, size, step=-1)
+
+    @staticmethod
+    def _grid_lines(dims: tuple[int, ...], axis: int) -> list[list[int]]:
+        """All 1-D lines of a row-major Cartesian grid along *axis*."""
+        strides = [1] * len(dims)
+        for i in reversed(range(len(dims) - 1)):
+            strides[i] = strides[i + 1] * dims[i + 1]
+        lines = []
+        others = [d for d in range(len(dims)) if d != axis]
+        counters = [0] * len(others)
+
+        def base_offset() -> int:
+            return sum(counters[i] * strides[others[i]] for i in range(len(others)))
+
+        while True:
+            base = base_offset()
+            lines.append([base + k * strides[axis] for k in range(dims[axis])])
+            for i in reversed(range(len(others))):
+                counters[i] += 1
+                if counters[i] < dims[others[i]]:
+                    break
+                counters[i] = 0
+            else:
+                break
+            continue
+        return lines
+
+    # -- assembly -------------------------------------------------------------
+    def build(self) -> Program:
+        """Assemble (and validate) the final program."""
+        program = Program(self.name, self.nprocs, self._streams)
+        program.validate()
+        return program
+
+    def _stream(self, rank: int) -> list[Op]:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range for {self.nprocs} processes")
+        return self._streams[rank]
+
+    @staticmethod
+    def _group(group: Sequence[int], root: int) -> tuple[list[int], int]:
+        ranks = list(dict.fromkeys(group))
+        if root not in ranks:
+            raise ValueError(f"root {root} not in group")
+        return ranks, ranks.index(root)

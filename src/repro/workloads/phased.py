@@ -1,0 +1,73 @@
+"""A multi-phase application with marker-delimited segments.
+
+Exercises the per-segment machinery (LAM/MPI markers -> per-segment
+profiles -> per-segment scheduling): a communication-heavy setup phase,
+a compute-dominated solve phase, and a halo-based core segment that a
+production run would repeat many times — each behaving differently
+enough that one mapping cannot fit all.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive
+from repro.simulate.program import Program
+from repro.workloads.base import WorkloadModel
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+__all__ = ["PhasedApplication"]
+
+
+class PhasedApplication(WorkloadModel):
+    """Three marker-delimited phases with contrasting behaviour.
+
+    Segment 0: setup — all-to-all data distribution, little compute.
+    Segment 1: solve — embarrassingly parallel compute.
+    Segment 2: core — 2-D halo iteration (the repeatable segment).
+    """
+
+    name = "phased"
+    affinities = {"alpha-533": 1.03}
+
+    def __init__(
+        self,
+        *,
+        setup_bytes: float = 4.0e5,
+        solve_work: float = 40.0,
+        core_iters: int = 8,
+        core_work: float = 10.0,
+        core_bytes: float = 6.0e5,
+    ) -> None:
+        check_positive(setup_bytes, "setup_bytes")
+        check_positive(solve_work, "solve_work")
+        if core_iters < 1:
+            raise ValueError("core_iters must be >= 1")
+        check_positive(core_work, "core_work")
+        check_positive(core_bytes, "core_bytes")
+        self.setup_bytes = setup_bytes
+        self.solve_work = solve_work
+        self.core_iters = core_iters
+        self.core_work = core_work
+        self.core_bytes = core_bytes
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        everyone = range(nprocs)
+        # Segment 0: setup (starts at segment index 0 implicitly).
+        b.compute_all(0.4 / max(nprocs, 1))
+        b.alltoall(everyone, self.setup_bytes / max(nprocs - 1, 1))
+        b.barrier(everyone)
+        # Segment 1: solve.
+        b.marker_all("solve")
+        b.compute_all(self.solve_work / nprocs)
+        b.allreduce(everyone, 64.0)
+        # Segment 2: the repeatable core.
+        b.marker_all("core")
+        dims = grid_dims(nprocs, 2)
+        face = self.core_bytes / max(dims[0], 1)
+        for _ in range(self.core_iters):
+            b.compute_all(self.core_work / self.core_iters / nprocs)
+            b.halo_exchange_grid(dims, [face, face])
+            b.allreduce(everyone, 8.0)
+        return b.build()

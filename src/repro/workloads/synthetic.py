@@ -1,0 +1,166 @@
+"""The configurable synthetic benchmark of the paper's phase-1 validation.
+
+Section 5: *"The program used in this phase was configurable in terms of
+computation and communication overlap, communication granularity, and
+execution duration."*  This model exposes exactly those three knobs:
+
+* ``comm_fraction`` — target share of time spent communicating
+  (communication granularity in the CPU-bound vs communication-bound
+  sense);
+* ``overlap`` — fraction of the communication volume carried by
+  overlapped (full-duplex pairwise exchange) transfers vs strictly
+  serialized send-then-receive pairs, which drives ``lambda_i`` below
+  or towards/above 1;
+* ``duration_s`` — nominal execution time at unit speed, controlling
+  how far small per-event errors can accumulate;
+
+plus message granularity (``messages_per_step``) and the exchange
+pattern:
+
+* ``pairs`` (default) — fixed disjoint partners every step; timing skew
+  stays inside each pair, so per-rank blocked time is proportional to
+  the pair's latency and the eq. 5–8 predictor is accurate across the
+  whole mapping space (the phase-1 regime);
+* ``ring`` / ``halo`` — even-odd neighbour exchanges along a ring or a
+  2-D grid; iterative coupling lets delays propagate between pairs,
+  which degrades predictability the way tightly-coupled codes do;
+* ``alltoall`` — shifted personalised exchange rounds.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_fraction, check_positive
+from repro.simulate.program import Program
+from repro.workloads.base import WorkloadModel
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+__all__ = ["SyntheticBenchmark"]
+
+#: Reference one-way bandwidth used to size messages for a target
+#: communication fraction (fast ethernet line rate).
+_REF_BYTES_PER_S = 100e6 / 8.0
+
+
+class SyntheticBenchmark(WorkloadModel):
+    """Parameterised compute/communicate loop for predictor validation."""
+
+    def __init__(
+        self,
+        *,
+        comm_fraction: float = 0.2,
+        overlap: float = 0.5,
+        duration_s: float = 60.0,
+        steps: int = 20,
+        messages_per_step: int = 1,
+        pattern: str = "pairs",
+        name: str | None = None,
+    ) -> None:
+        check_fraction(comm_fraction, "comm_fraction")
+        if comm_fraction >= 1.0:
+            raise ValueError("comm_fraction must be < 1 (some compute must remain)")
+        check_fraction(overlap, "overlap")
+        check_positive(duration_s, "duration_s")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if messages_per_step < 1:
+            raise ValueError("messages_per_step must be >= 1")
+        if pattern not in ("pairs", "ring", "halo", "alltoall"):
+            raise ValueError(f"unknown pattern {pattern!r}")
+        self.comm_fraction = comm_fraction
+        self.overlap = overlap
+        self.duration_s = duration_s
+        self.steps = steps
+        self.messages_per_step = messages_per_step
+        self.pattern = pattern
+        self.name = name or (
+            f"synthetic.{pattern}.c{comm_fraction:.2f}.o{overlap:.2f}.d{duration_s:.0f}"
+        )
+        super().__init__()
+
+    def program(self, nprocs: int) -> Program:
+        self._check_nprocs(nprocs)
+        b = ProgramBuilder(self.name, nprocs)
+        per_step = self.duration_s / self.steps
+        compute_s = per_step * (1.0 - self.comm_fraction)
+        comm_s = per_step * self.comm_fraction
+        # Size messages so the step's transfers take about comm_s on the
+        # reference network.
+        exchanges = self._exchanges_per_step(nprocs)
+        bytes_per_step = comm_s * _REF_BYTES_PER_S
+        msg = bytes_per_step / max(exchanges * self.messages_per_step, 1)
+        ov_msg = msg * self.overlap
+        ser_msg = msg * (1.0 - self.overlap)
+        for step in range(self.steps):
+            b.compute_all(compute_s)
+            for _ in range(self.messages_per_step):
+                self._emit_comm(b, nprocs, ov_msg, ser_msg, step)
+        b.allreduce(range(nprocs), 8.0)
+        return b.build()
+
+    # -- helpers ----------------------------------------------------------
+    def _exchanges_per_step(self, nprocs: int) -> int:
+        if nprocs == 1:
+            return 1
+        if self.pattern in ("pairs", "ring"):
+            return 1
+        if self.pattern == "halo":
+            return 2
+        return max(nprocs - 1, 1)  # alltoall rounds
+
+    def _emit_comm(
+        self, b: ProgramBuilder, nprocs: int, ov_msg: float, ser_msg: float, step: int
+    ) -> None:
+        if nprocs == 1:
+            return
+        group = list(range(nprocs))
+        if self.pattern == "pairs":
+            # Fixed disjoint partners: rank 2k <-> 2k+1 every step.  No
+            # inter-pair coupling, so each rank's blocked time stays
+            # proportional to its own pair's latency — the cleanest
+            # instrument for validating the eq. 5-8 predictor across
+            # the mapping space (phase 1).
+            if ov_msg > 0:
+                b.pairwise_exchange(group, ov_msg, phase=0)
+            if ser_msg > 0:
+                self._serial_pairs(b, nprocs, ser_msg, 0)
+        elif self.pattern == "ring":
+            if ov_msg > 0:
+                b.pairwise_exchange(group, ov_msg, phase=step)
+            if ser_msg > 0:
+                self._serial_pairs(b, nprocs, ser_msg, step)
+        elif self.pattern == "halo":
+            rows, cols = grid_dims(nprocs, 2)
+            if ov_msg > 0:
+                for axis in range(2):
+                    for line in ProgramBuilder._grid_lines((rows, cols), axis):
+                        b.pairwise_exchange(line, ov_msg, phase=step)
+            if ser_msg > 0:
+                self._serial_pairs(b, nprocs, ser_msg, step)
+                self._serial_pairs(b, nprocs, ser_msg, step + 1)
+        else:  # alltoall
+            if ov_msg > 0:
+                b.alltoall(group, ov_msg)
+            if ser_msg > 0:
+                for round_ in range(1, nprocs):
+                    for rank in range(nprocs):
+                        dst = (rank + round_) % nprocs
+                        src = (rank - round_) % nprocs
+                        b.sendrecv(rank, dst, ser_msg, src, ser_msg)
+
+    @staticmethod
+    def _serial_pairs(b: ProgramBuilder, nprocs: int, size: float, phase: int) -> None:
+        """Disjoint pairs whose two transfers happen strictly in turn.
+
+        The lower-ranked member sends then receives; the higher-ranked
+        one receives then sends — no overlap within the pair, which is
+        what pushes lambda towards (and past) 1.
+        """
+        start = phase % 2
+        pairs = [(i, i + 1) for i in range(start, nprocs - 1, 2)]
+        if start == 1 and nprocs % 2 == 0 and nprocs > 2:
+            pairs.append((nprocs - 1, 0))
+        for a, bb in pairs:
+            b.send(a, bb, size)
+            b.recv(bb, a, size)
+            b.send(bb, a, size)
+            b.recv(a, bb, size)

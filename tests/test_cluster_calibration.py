@@ -1,0 +1,92 @@
+"""Tests for repro.cluster.calibration."""
+
+import pytest
+
+from repro.cluster.calibration import Calibrator, schedule_cliques
+from repro.cluster.latency import LatencyModel
+from tests.conftest import make_tiny_cluster
+
+
+class TestScheduleCliques:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 9])
+    def test_covers_all_pairs_exactly_once(self, n):
+        hosts = [f"h{i}" for i in range(n)]
+        rounds = schedule_cliques(hosts)
+        seen = [pair for rnd in rounds for pair in rnd]
+        expected = {(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1 :]}
+        assert set(seen) == expected
+        assert len(seen) == len(expected)  # no duplicates
+
+    @pytest.mark.parametrize("n", [2, 4, 7, 10])
+    def test_no_host_twice_per_round(self, n):
+        hosts = [f"h{i}" for i in range(n)]
+        for rnd in schedule_cliques(hosts):
+            flat = [h for pair in rnd for h in pair]
+            assert len(flat) == len(set(flat))
+
+    def test_linear_round_count(self):
+        # n hosts -> n-1 rounds (n even): the O(N) property.
+        assert len(schedule_cliques([f"h{i}" for i in range(10)])) == 9
+        assert len(schedule_cliques([f"h{i}" for i in range(11)])) == 11
+
+    def test_requires_two_hosts(self):
+        with pytest.raises(ValueError):
+            schedule_cliques(["only"])
+
+    def test_duplicate_hosts_deduplicated(self):
+        rounds = schedule_cliques(["a", "b", "a"])
+        assert [pair for rnd in rounds for pair in rnd] == [("a", "b")]
+
+
+class TestCalibrator:
+    def test_noise_free_fit_is_exact(self):
+        cluster = make_tiny_cluster(4)
+        report = Calibrator(cluster.fabric, cluster.nodes, noise=0.0).calibrate()
+        exact = LatencyModel.from_fabric(cluster.fabric, cluster.nodes)
+        for src, dst in exact.pairs():
+            for size in (64, 4096, 262144):
+                assert report.model.no_load(src, dst, size) == pytest.approx(
+                    exact.no_load(src, dst, size), rel=1e-6
+                )
+
+    def test_noisy_fit_close_to_truth(self):
+        cluster = make_tiny_cluster(6, two_switches=True)
+        report = Calibrator(cluster.fabric, cluster.nodes, noise=0.01, seed=3).calibrate()
+        exact = LatencyModel.from_fabric(cluster.fabric, cluster.nodes)
+        for src, dst in exact.pairs():
+            for size in (64, 32768):
+                assert report.model.no_load(src, dst, size) == pytest.approx(
+                    exact.no_load(src, dst, size), rel=0.05
+                )
+
+    def test_deterministic_given_seed(self):
+        cluster = make_tiny_cluster(4)
+        r1 = Calibrator(cluster.fabric, cluster.nodes, seed=5).calibrate()
+        r2 = Calibrator(cluster.fabric, cluster.nodes, seed=5).calibrate()
+        assert r1.model.no_load("n00", "n01", 1024) == r2.model.no_load("n00", "n01", 1024)
+
+    def test_report_accounting(self):
+        cluster = make_tiny_cluster(4)
+        report = Calibrator(cluster.fabric, cluster.nodes).calibrate()
+        assert report.pair_benchmarks == 6  # C(4,2)
+        assert report.rounds == 3
+        assert report.parallel_speedup == pytest.approx(2.0)
+        assert report.notes
+
+    def test_reverse_direction_swaps_endpoints(self):
+        cluster = make_tiny_cluster(4)
+        report = Calibrator(cluster.fabric, cluster.nodes, noise=0.0).calibrate()
+        fwd = report.model.components("n00", "n01")
+        rev = report.model.components("n01", "n00")
+        assert fwd.alpha_src == rev.alpha_dst
+        assert fwd.alpha_dst == rev.alpha_src
+        assert fwd.beta == rev.beta
+
+    def test_parameter_validation(self):
+        cluster = make_tiny_cluster(4)
+        with pytest.raises(ValueError):
+            Calibrator(cluster.fabric, cluster.nodes, noise=-0.1)
+        with pytest.raises(ValueError):
+            Calibrator(cluster.fabric, cluster.nodes, repetitions=0)
+        with pytest.raises(ValueError):
+            Calibrator(cluster.fabric, cluster.nodes).calibrate(sizes=[0])

@@ -1,0 +1,89 @@
+"""Tests for the Cluster facade."""
+
+import pytest
+
+from repro.cluster import Cluster, LinkSpec, NetworkFabric, Node, SwitchSpec
+from repro.cluster.node import ALPHA_533, INTEL_PII_400
+from tests.conftest import make_tiny_cluster
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self, tiny_cluster):
+        with pytest.raises(ValueError):
+            Cluster("", tiny_cluster.nodes, tiny_cluster.fabric)
+
+    def test_rejects_node_fabric_mismatch(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("sw", 8))
+        fabric.add_host("h0")
+        fabric.connect("h0", "sw", LinkSpec())
+        with pytest.raises(ValueError, match="not present in fabric"):
+            Cluster("c", [Node("h0", ALPHA_533), Node("ghost", ALPHA_533)], fabric)
+
+    def test_rejects_fabric_host_without_node(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("sw", 8))
+        for h in ("h0", "h1"):
+            fabric.add_host(h)
+            fabric.connect(h, "sw", LinkSpec())
+        with pytest.raises(ValueError, match="without node objects"):
+            Cluster("c", [Node("h0", ALPHA_533)], fabric)
+
+    def test_fills_in_switch_attribute(self, tiny_cluster):
+        assert all(node.switch == "sw0" for node in tiny_cluster.nodes.values())
+
+
+class TestQueries:
+    def test_node_lookup(self, tiny_cluster):
+        assert tiny_cluster.node("n00").node_id == "n00"
+        with pytest.raises(KeyError):
+            tiny_cluster.node("nope")
+
+    def test_node_ids_sorted(self, tiny_cluster):
+        ids = tiny_cluster.node_ids()
+        assert ids == sorted(ids)
+
+    def test_architectures(self, tiny_cluster):
+        archs = tiny_cluster.architectures()
+        assert set(archs) == {"pii-400", "alpha-533"}
+
+    def test_nodes_by_arch(self, tiny_cluster):
+        assert tiny_cluster.nodes_by_arch(INTEL_PII_400) == ["n00", "n02"]
+        assert tiny_cluster.nodes_by_arch("alpha-533") == ["n01", "n03"]
+        with pytest.raises(KeyError):
+            tiny_cluster.nodes_by_arch("sparc-500")
+
+    def test_nodes_by_switch_unknown(self, tiny_cluster):
+        with pytest.raises(KeyError):
+            tiny_cluster.nodes_by_switch("nope")
+
+
+class TestLatencyLifecycle:
+    def test_uncalibrated_access_raises(self):
+        cluster = make_tiny_cluster()
+        assert not cluster.is_calibrated
+        with pytest.raises(RuntimeError, match="calibrat"):
+            _ = cluster.latency_model
+
+    def test_calibrate_installs_model(self):
+        cluster = make_tiny_cluster()
+        report = cluster.calibrate(seed=1)
+        assert cluster.is_calibrated
+        assert cluster.latency_model is report.model
+
+    def test_exact_model_installable(self):
+        cluster = make_tiny_cluster()
+        cluster.use_exact_latency_model()
+        assert cluster.is_calibrated
+
+
+class TestLoads:
+    def test_clear_loads(self):
+        cluster = make_tiny_cluster()
+        cluster.node("n00").set_background_load(0.7)
+        cluster.node("n01").set_nic_load(0.3)
+        cluster.clear_loads()
+        assert all(
+            node.background_load == 0.0 and node.nic_load == 0.0
+            for node in cluster.nodes.values()
+        )

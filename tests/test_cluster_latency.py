@@ -1,0 +1,107 @@
+"""Tests for repro.cluster.latency."""
+
+import pytest
+
+from repro.cluster.latency import LatencyModel, PathComponents
+from repro.cluster.network import LinkSpec, NetworkFabric, SwitchSpec
+from repro.cluster.node import ALPHA_533, NICSpec, Node
+
+
+@pytest.fixture
+def pair_fabric():
+    fabric = NetworkFabric()
+    fabric.add_switch(SwitchSpec("sw", nports=8, forward_latency_s=6e-6))
+    nodes = {}
+    for name in ("a", "b"):
+        fabric.add_host(name)
+        fabric.connect(name, "sw", LinkSpec(bandwidth_bps=100e6, latency_s=0.5e-6))
+        nodes[name] = Node(name, ALPHA_533, nic=NICSpec(send_overhead_s=25e-6))
+    return fabric, nodes
+
+
+class TestPathComponents:
+    def test_no_load_linear_in_size(self):
+        pc = PathComponents(10e-6, 10e-6, 5e-6, 1e-7)
+        assert pc.no_load(0) == pytest.approx(25e-6)
+        assert pc.no_load(1000) == pytest.approx(25e-6 + 1e-4)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ValueError):
+            PathComponents(-1e-6, 0, 0, 0)
+
+    def test_rejects_negative_size(self):
+        pc = PathComponents(1e-6, 1e-6, 0, 0)
+        with pytest.raises(ValueError):
+            pc.no_load(-1)
+
+    def test_adjusted_equals_no_load_when_idle(self):
+        pc = PathComponents(10e-6, 12e-6, 5e-6, 1e-7)
+        assert pc.adjusted(4096) == pytest.approx(pc.no_load(4096))
+
+    def test_adjusted_scales_endpoint_with_acpu(self):
+        pc = PathComponents(10e-6, 10e-6, 5e-6, 0.0)
+        # Halving the source availability doubles only alpha_src.
+        assert pc.adjusted(0, acpu_src=0.5) == pytest.approx(20e-6 + 10e-6 + 5e-6)
+
+    def test_adjusted_scales_serialization_with_nic(self):
+        pc = PathComponents(0.0, 0.0, 0.0, 1e-6)
+        assert pc.adjusted(100, nic_src=0.5) == pytest.approx(2 * 100e-6)
+
+    def test_nic_load_clamped(self):
+        pc = PathComponents(0.0, 0.0, 0.0, 1e-6)
+        # At 99% utilisation the clamp (0.95) keeps latency finite.
+        assert pc.adjusted(100, nic_dst=0.99) == pytest.approx(100e-6 / 0.05)
+
+    def test_adjusted_rejects_zero_acpu(self):
+        pc = PathComponents(1e-6, 1e-6, 0, 0)
+        with pytest.raises(ValueError):
+            pc.adjusted(0, acpu_src=0.0)
+
+
+class TestLatencyModel:
+    def test_from_fabric_matches_wiring(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        # alpha: 2 x 25us endpoints + 6us switch + 2 x 0.5us links.
+        assert model.no_load("a", "b", 0) == pytest.approx(57e-6)
+        # serialization: 8 bits/byte over 100 Mb/s.
+        assert model.no_load("a", "b", 12500) == pytest.approx(57e-6 + 1e-3)
+
+    def test_symmetric_for_identical_nics(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        assert model.no_load("a", "b", 1024) == pytest.approx(model.no_load("b", "a", 1024))
+
+    def test_same_node_uses_shared_memory(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        assert model.no_load("a", "a", 1024) < model.no_load("a", "b", 1024) / 10
+
+    def test_unknown_pair_raises(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        with pytest.raises(KeyError):
+            model.components("a", "zzz")
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel({})
+
+    def test_spread_on_uniform_fabric_is_zero(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        low, high, spread = model.spread(1024)
+        assert low == pytest.approx(high)
+        assert spread == pytest.approx(0.0)
+
+    def test_pairs_sorted_and_complete(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        assert model.pairs() == [("a", "b"), ("b", "a")]
+
+    def test_current_applies_load(self, pair_fabric):
+        fabric, nodes = pair_fabric
+        model = LatencyModel.from_fabric(fabric, nodes)
+        idle = model.current("a", "b", 1024)
+        busy = model.current("a", "b", 1024, acpu_src=0.5, nic_dst=0.5)
+        assert busy > idle

@@ -1,0 +1,143 @@
+"""Tests for repro.cluster.network."""
+
+import pytest
+
+from repro.cluster.network import LinkSpec, NetworkFabric, SwitchSpec
+
+
+def star(n=3):
+    fabric = NetworkFabric()
+    fabric.add_switch(SwitchSpec("sw", nports=n + 2))
+    for i in range(n):
+        fabric.add_host(f"h{i}")
+        fabric.connect(f"h{i}", "sw")
+    return fabric
+
+
+class TestSpecs:
+    def test_switch_validation(self):
+        with pytest.raises(ValueError):
+            SwitchSpec("", 8)
+        with pytest.raises(ValueError):
+            SwitchSpec("sw", 0)
+        with pytest.raises(ValueError):
+            SwitchSpec("sw", 8, forward_latency_s=0.0)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkSpec(latency_s=-1.0)
+
+
+class TestConstruction:
+    def test_duplicate_switch_rejected(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("sw", 8))
+        with pytest.raises(ValueError):
+            fabric.add_switch(SwitchSpec("sw", 8))
+
+    def test_duplicate_host_rejected(self):
+        fabric = NetworkFabric()
+        fabric.add_host("h")
+        with pytest.raises(ValueError):
+            fabric.add_host("h")
+
+    def test_host_switch_namespace_shared(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("x", 8))
+        with pytest.raises(ValueError):
+            fabric.add_host("x")
+
+    def test_connect_unknown_element(self):
+        fabric = NetworkFabric()
+        fabric.add_host("h")
+        with pytest.raises(KeyError):
+            fabric.connect("h", "nope")
+
+    def test_self_connect_rejected(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("sw", 8))
+        with pytest.raises(ValueError):
+            fabric.connect("sw", "sw")
+
+    def test_port_exhaustion(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("sw", nports=2))
+        for i in range(2):
+            fabric.add_host(f"h{i}")
+            fabric.connect(f"h{i}", "sw")
+        fabric.add_host("h2")
+        with pytest.raises(ValueError, match="free ports"):
+            fabric.connect("h2", "sw")
+
+
+class TestValidate:
+    def test_star_is_valid(self):
+        star().validate()
+
+    def test_empty_fabric_invalid(self):
+        with pytest.raises(ValueError, match="no hosts"):
+            NetworkFabric().validate()
+
+    def test_disconnected_invalid(self):
+        fabric = star(2)
+        fabric.add_switch(SwitchSpec("island", 4))
+        with pytest.raises(ValueError, match="not connected"):
+            fabric.validate()
+
+    def test_host_with_two_uplinks_invalid(self):
+        fabric = star(2)
+        fabric.add_switch(SwitchSpec("sw2", 4))
+        fabric.connect("sw2", "sw")
+        fabric.connect("h0", "sw2")
+        with pytest.raises(ValueError, match="exactly one uplink"):
+            fabric.validate()
+
+    def test_host_to_host_wiring_invalid(self):
+        fabric = NetworkFabric()
+        fabric.add_host("a")
+        fabric.add_host("b")
+        fabric.connect("a", "b")
+        with pytest.raises(ValueError, match="switch"):
+            fabric.validate()
+
+
+class TestPaths:
+    def test_same_switch_path(self):
+        fabric = star()
+        assert fabric.path("h0", "h1") == ("h0", "sw", "h1")
+        assert fabric.hop_count("h0", "h1") == 2
+
+    def test_two_level_path(self):
+        fabric = NetworkFabric()
+        fabric.add_switch(SwitchSpec("s0", 8))
+        fabric.add_switch(SwitchSpec("s1", 8))
+        fabric.connect("s0", "s1", LinkSpec(bandwidth_bps=50e6))
+        for i, sw in enumerate(["s0", "s1"]):
+            fabric.add_host(f"h{i}")
+            fabric.connect(f"h{i}", sw)
+        assert fabric.path("h0", "h1") == ("h0", "s0", "s1", "h1")
+        assert fabric.bottleneck_bandwidth("h0", "h1") == 50e6
+        assert len(fabric.path_switches("h0", "h1")) == 2
+
+    def test_path_requires_hosts(self):
+        fabric = star()
+        with pytest.raises(KeyError):
+            fabric.path("sw", "h0")
+
+    def test_bottleneck_same_host_rejected(self):
+        fabric = star()
+        with pytest.raises(ValueError):
+            fabric.bottleneck_bandwidth("h0", "h0")
+
+    def test_switch_of(self):
+        fabric = star()
+        assert fabric.switch_of("h0") == "sw"
+        with pytest.raises(KeyError):
+            fabric.switch_of("sw")
+
+    def test_ports_used(self):
+        fabric = star(3)
+        assert fabric.ports_used("sw") == 3
+        assert fabric.ports_used("h0") == 1

@@ -1,0 +1,124 @@
+"""Tests for repro.cluster.node."""
+
+import pytest
+
+from repro.cluster.node import (
+    ALPHA_533,
+    INTEL_PII_400,
+    SPARC_500,
+    Architecture,
+    NICSpec,
+    Node,
+)
+
+
+class TestArchitecture:
+    def test_builtin_speed_ordering(self):
+        # The paper's zones require Alpha > PII > SPARC for typical codes.
+        assert ALPHA_533.base_speed > INTEL_PII_400.base_speed > SPARC_500.base_speed
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Architecture("", 1.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            Architecture("x", 0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ALPHA_533.base_speed = 2.0  # type: ignore[misc]
+
+
+class TestNICSpec:
+    def test_defaults_fast_ethernet(self):
+        nic = NICSpec()
+        assert nic.bandwidth_bps == 100e6
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            NICSpec(bandwidth_bps=0)
+
+    def test_rejects_bad_overhead(self):
+        with pytest.raises(ValueError):
+            NICSpec(send_overhead_s=-1e-6)
+
+
+class TestNode:
+    def test_basic_construction(self):
+        node = Node("n1", ALPHA_533)
+        assert node.ncpus == 1
+        assert node.background_load == 0.0
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            Node("", ALPHA_533)
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValueError):
+            Node("n1", ALPHA_533, ncpus=0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            Node("n1", ALPHA_533, background_load=-0.1)
+
+    def test_set_background_load_above_one_allowed(self):
+        # CPU-equivalents may exceed 1 (oversubscription / multi-CPU).
+        node = Node("n1", INTEL_PII_400, ncpus=2)
+        node.set_background_load(1.5)
+        assert node.background_load == 1.5
+
+    def test_set_nic_load_bounds(self):
+        node = Node("n1", ALPHA_533)
+        node.set_nic_load(0.5)
+        assert node.nic_load == 0.5
+        with pytest.raises(ValueError):
+            node.set_nic_load(1.5)
+
+
+class TestCpuAvailability:
+    def test_idle_single_cpu_full(self):
+        assert Node("n", ALPHA_533).cpu_availability == 1.0
+
+    def test_loaded_single_cpu_shares(self):
+        node = Node("n", ALPHA_533)
+        node.set_background_load(0.5)
+        # demand = 1.5 on one CPU -> the incoming process gets 1/1.5.
+        assert node.cpu_availability == pytest.approx(1 / 1.5)
+
+    def test_dual_cpu_absorbs_one_load_unit(self):
+        node = Node("n", INTEL_PII_400, ncpus=2)
+        node.set_background_load(1.0)
+        # demand = 2.0 on two CPUs -> still a full CPU each.
+        assert node.cpu_availability == 1.0
+
+    def test_dual_cpu_saturates_past_capacity(self):
+        node = Node("n", INTEL_PII_400, ncpus=2)
+        node.set_background_load(3.0)
+        assert node.cpu_availability == pytest.approx(2 / 4)
+
+    def test_availability_monotone_in_load(self):
+        node = Node("n", ALPHA_533)
+        previous = 1.1
+        for load in (0.0, 0.1, 0.5, 1.0):
+            node.set_background_load(load)
+            assert node.cpu_availability <= previous
+            previous = node.cpu_availability
+
+
+class TestSpeedFor:
+    def test_defaults_to_arch_base(self):
+        assert Node("n", ALPHA_533).speed_for() == ALPHA_533.base_speed
+
+    def test_uses_measured_ratio_when_present(self):
+        node = Node("n", ALPHA_533)
+        assert node.speed_for({"alpha-533": 2.0}) == 2.0
+
+    def test_ignores_other_arch_ratios(self):
+        node = Node("n", ALPHA_533)
+        assert node.speed_for({"pii-400": 2.0}) == ALPHA_533.base_speed
+
+    def test_rejects_nonpositive_ratio(self):
+        node = Node("n", ALPHA_533)
+        with pytest.raises(ValueError):
+            node.speed_for({"alpha-533": 0.0})

@@ -1,0 +1,121 @@
+"""Tests for repro.cluster.topology (incl. the paper's testbeds)."""
+
+import pytest
+
+from repro.cluster import (
+    ALPHA_533,
+    INTEL_PII_400,
+    fat_star,
+    federated,
+    single_switch,
+)
+from repro.cluster.topology import centurion, orange_grove
+
+
+class TestSingleSwitch:
+    def test_counts(self):
+        cluster = single_switch("s", 5)
+        assert cluster.size == 5
+        assert len(cluster.nodes_by_switch("s-sw")) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            single_switch("s", 0)
+
+
+class TestFatStar:
+    def test_structure(self):
+        cluster = fat_star("f", [(ALPHA_533, 8), (INTEL_PII_400, 8)], hosts_per_switch=4)
+        assert cluster.size == 16
+        # 16 hosts over 4-host switches -> 4 edge switches.
+        switches = {node.switch for node in cluster.nodes.values()}
+        assert len(switches) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fat_star("f", [])
+
+
+class TestFederated:
+    def test_joins_sides_with_bottleneck(self):
+        a = single_switch("a", 3)
+        b = single_switch("b", 3)
+        cluster = federated("fed", [a, b])
+        cluster.use_exact_latency_model()
+        intra = cluster.latency_model.no_load("a-n00", "a-n01", 1024)
+        cross = cluster.latency_model.no_load("a-n00", "b-n00", 1024)
+        assert cross > intra
+
+    def test_needs_two_sides(self):
+        with pytest.raises(ValueError):
+            federated("fed", [single_switch("a", 2)])
+
+
+class TestCenturion:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return centurion()
+
+    def test_node_counts(self, cluster):
+        assert cluster.size == 128
+        assert len(cluster.nodes_by_arch("alpha-533")) == 32
+        assert len(cluster.nodes_by_arch("pii-400")) == 96
+
+    def test_intel_nodes_dual_cpu(self, cluster):
+        assert all(cluster.node(n).ncpus == 2 for n in cluster.nodes_by_arch("pii-400"))
+
+    def test_eight_edge_switches(self, cluster):
+        switches = {node.switch for node in cluster.nodes.values()}
+        assert len(switches) == 8
+
+    def test_each_switch_carries_16_nodes(self, cluster):
+        for sw in {node.switch for node in cluster.nodes.values()}:
+            assert len(cluster.nodes_by_switch(sw)) == 16
+
+    def test_latency_spread_near_13_percent(self, cluster):
+        # Section 6: Centurion latency differences up to ~13 %.
+        cluster.use_exact_latency_model()
+        _, _, spread = cluster.latency_model.spread(64)
+        assert 0.08 <= spread <= 0.18
+
+
+class TestOrangeGrove:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return orange_grove()
+
+    def test_node_counts(self, cluster):
+        assert cluster.size == 28
+        assert len(cluster.nodes_by_arch("alpha-533")) == 8
+        assert len(cluster.nodes_by_arch("pii-400")) == 12
+        assert len(cluster.nodes_by_arch("sparc-500")) == 8
+
+    def test_five_switch_groups(self, cluster):
+        switches = {node.switch for node in cluster.nodes.values()}
+        assert len(switches) == 5
+
+    def test_every_arch_spans_multiple_switches(self, cluster):
+        # Needed so rank placement matters even within one architecture.
+        for arch in ("alpha-533", "pii-400", "sparc-500"):
+            switches = {cluster.node(n).switch for n in cluster.nodes_by_arch(arch)}
+            assert len(switches) >= 2
+
+    def test_latency_spread_near_54_percent(self, cluster):
+        # Section 6: Orange Grove latency differences up to ~54 %.
+        cluster.use_exact_latency_model()
+        _, _, spread = cluster.latency_model.spread(1024)
+        assert 0.40 <= spread <= 0.62
+
+    def test_federation_link_is_bottleneck(self, cluster):
+        # Two SPARCs on opposite DLinks cross the limited-capacity link.
+        bw = cluster.fabric.bottleneck_bandwidth("og-s00", "og-s04")
+        assert bw < 100e6
+
+    def test_calibration_deterministic(self):
+        a = orange_grove()
+        b = orange_grove()
+        a.calibrate(seed=9)
+        b.calibrate(seed=9)
+        assert a.latency_model.no_load("og-a00", "og-s07", 4096) == pytest.approx(
+            b.latency_model.no_load("og-a00", "og-s07", 4096)
+        )

@@ -1,0 +1,151 @@
+"""Tests for shared-cluster reservations and co-scheduling + NPB FT."""
+
+import pytest
+
+from repro.cluster import orange_grove, single_switch
+from repro.core import CBES, CbesError, ClusterReservations, Reservation, TaskMapping
+from repro.schedulers import AnnealingSchedule, CbesScheduler
+from repro.workloads import FT, LU, SyntheticBenchmark
+
+FAST_SA = AnnealingSchedule(moves_per_temperature=20, steps=12, patience=4)
+
+
+class TestReservation:
+    def test_validation(self):
+        m = TaskMapping(["a"])
+        with pytest.raises(ValueError):
+            Reservation("x", m, cpu_demand=-1)
+        with pytest.raises(ValueError):
+            Reservation("x", m, nic_demand=1.5)
+
+
+class TestClusterReservations:
+    @pytest.fixture
+    def setup(self):
+        service = CBES(single_switch("mini", 8))
+        service.calibrate(seed=1)
+        app = SyntheticBenchmark(comm_fraction=0.2, duration_s=4.0, steps=4, name="coloc")
+        service.profile_application(app, 4, seed=0)
+        return service, app
+
+    def test_ledger_roundtrip(self, setup):
+        service, app = setup
+        ledger = ClusterReservations(service)
+        mapping = TaskMapping(service.cluster.node_ids()[:4])
+        ledger.place(app.name, mapping)
+        assert len(ledger.active) == 1
+        released = ledger.release(app.name)
+        assert released.mapping == mapping
+        assert ledger.active == []
+
+    def test_double_place_rejected(self, setup):
+        service, app = setup
+        ledger = ClusterReservations(service)
+        mapping = TaskMapping(service.cluster.node_ids()[:4])
+        ledger.place(app.name, mapping)
+        with pytest.raises(CbesError):
+            ledger.place(app.name, mapping)
+
+    def test_release_unknown_rejected(self, setup):
+        service, _ = setup
+        with pytest.raises(CbesError):
+            ClusterReservations(service).release("ghost")
+
+    def test_cpu_demand_defaults_to_compute_share(self, setup):
+        service, app = setup
+        ledger = ClusterReservations(service)
+        mapping = TaskMapping(service.cluster.node_ids()[:4])
+        reservation = ledger.place(app.name, mapping)
+        comp, _ = service.profile(app.name).comp_comm_ratio
+        assert reservation.cpu_demand == pytest.approx(comp)
+
+    def test_load_on_accumulates(self, setup):
+        service, app = setup
+        ledger = ClusterReservations(service)
+        node = service.cluster.node_ids()[0]
+        ledger.place(app.name, TaskMapping([node] * 2 + service.cluster.node_ids()[1:3]),
+                     cpu_demand=0.5, nic_demand=0.1)
+        cpu, nic = ledger.load_on(node)
+        assert cpu == pytest.approx(1.0)  # two procs x 0.5
+        assert nic == pytest.approx(0.2)
+
+    def test_snapshot_includes_reservations(self, setup):
+        service, app = setup
+        ledger = ClusterReservations(service)
+        node = service.cluster.node_ids()[0]
+        ledger.place(app.name, TaskMapping([node] + service.cluster.node_ids()[1:4]),
+                     cpu_demand=1.0)
+        snap = ledger.snapshot()
+        assert snap.background_load(node) == pytest.approx(1.0)
+        assert snap.acpu(node) == pytest.approx(0.5)
+
+
+class TestCoScheduling:
+    def test_second_app_avoids_first_apps_nodes(self):
+        """Arrival-order scheduling on Orange Grove's Alpha pool."""
+        cluster = orange_grove()
+        service = CBES(cluster)
+        service.calibrate(seed=1)
+        alphas = cluster.nodes_by_arch("alpha-533")
+        intels = cluster.nodes_by_arch("pii-400")
+        pool = alphas + intels
+        app1 = LU("S")
+        service.profile_application(app1, 8, mapping=TaskMapping(alphas), seed=0)
+        app2 = SyntheticBenchmark(comm_fraction=0.1, duration_s=20.0, steps=5, name="tenant2")
+        service.profile_application(app2, 8, mapping=TaskMapping(alphas), seed=0)
+
+        ledger = ClusterReservations(service)
+        first = ledger.schedule(app1.name, CbesScheduler(schedule=FAST_SA), pool, seed=1)
+        second = ledger.schedule(app2.name, CbesScheduler(schedule=FAST_SA), pool, seed=1)
+        # Single-CPU alphas already hosting app1 are unattractive: the
+        # second tenant overlaps the first on at most a couple of nodes.
+        overlap = first.mapping.nodes_used() & second.mapping.nodes_used()
+        single_cpu_overlap = [
+            n for n in overlap if cluster.node(n).ncpus == 1
+        ]
+        assert len(single_cpu_overlap) <= 2
+
+    def test_reservation_free_scheduling_overlaps(self):
+        """Without the ledger, both apps pile onto the same fast nodes."""
+        cluster = orange_grove()
+        service = CBES(cluster)
+        service.calibrate(seed=1)
+        alphas = cluster.nodes_by_arch("alpha-533")
+        app = LU("S")
+        service.profile_application(app, 8, mapping=TaskMapping(alphas), seed=0)
+        pool = alphas + cluster.nodes_by_arch("pii-400")
+        a = service.schedule(app.name, CbesScheduler(schedule=FAST_SA), pool, seed=1)
+        b = service.schedule(app.name, CbesScheduler(schedule=FAST_SA), pool, seed=2)
+        assert len(a.mapping.nodes_used() & b.mapping.nodes_used()) >= 5
+
+
+class TestFT:
+    def test_program_validates_and_runs(self):
+        service = CBES(single_switch("mini", 4))
+        service.calibrate(seed=1)
+        app = FT("A")
+        mapping = TaskMapping(service.cluster.node_ids()[:4])
+        result = service.simulator.run(
+            app.program(4), mapping.as_dict(), seed=1, arch_affinity=app.arch_affinity
+        )
+        assert result.total_time > 0
+
+    def test_alltoall_dominates(self):
+        prog = FT("A").program(8)
+        # niter all-to-alls: n*(n-1) messages each.
+        assert prog.total_messages >= 6 * 8 * 7
+
+    def test_class_scaling(self):
+        assert FT("B").program(4).total_work > 2 * FT("A").program(4).total_work
+
+    def test_prediction_accuracy(self):
+        service = CBES(single_switch("mini", 8))
+        service.calibrate(seed=1)
+        app = FT("A")
+        service.profile_application(app, 8, seed=0)
+        mapping = TaskMapping(service.cluster.node_ids()[:8])
+        predicted = service.evaluator(app.name).execution_time(mapping)
+        measured = service.simulator.run(
+            app.program(8), mapping.as_dict(), seed=9, arch_affinity=app.arch_affinity
+        ).total_time
+        assert predicted == pytest.approx(measured, rel=0.1)

@@ -1,0 +1,206 @@
+"""Tests for the mapping evaluator — exact arithmetic of eqs. 4-8."""
+
+import pytest
+
+from repro.cluster.latency import LatencyModel, PathComponents
+from repro.cluster.node import Architecture, Node
+from repro.core import EvaluationOptions, InvalidMappingError, MappingEvaluator, TaskMapping
+from repro.monitoring.snapshot import NodeState, SystemSnapshot
+from repro.profiling.profile import ApplicationProfile, MessageGroup, ProcessProfile
+
+FAST = Architecture("fast", 2.0)
+SLOW = Architecture("slow", 1.0)
+
+#: Constant-alpha latency model: L(src,dst,size) = 1ms + size * 1us.
+ALPHA = 1e-3
+BETA = 1e-6
+
+
+@pytest.fixture
+def nodes():
+    return {
+        "f0": Node("f0", FAST),
+        "f1": Node("f1", FAST),
+        "s0": Node("s0", SLOW),
+        "s1": Node("s1", SLOW),
+    }
+
+
+@pytest.fixture
+def latency_model(nodes):
+    comps = PathComponents(ALPHA / 2, ALPHA / 2, 0.0, BETA)
+    return LatencyModel(
+        {(a, b): comps for a in nodes for b in nodes if a != b}
+    )
+
+
+def make_profile(lam=(1.0, 1.0)):
+    """Two processes: rank0 sends 10x100B to rank1, profiled on f0/f1."""
+    p0 = ProcessProfile(
+        0, own_time=8.0, overhead_time=2.0, blocked_time=3.0,
+        sends=(MessageGroup(1, 100.0, 10),), lam=lam[0],
+    )
+    p1 = ProcessProfile(
+        1, own_time=4.0, overhead_time=1.0, blocked_time=2.0,
+        recvs=(MessageGroup(0, 100.0, 10),), lam=lam[1],
+    )
+    return ApplicationProfile(
+        app_name="toy",
+        nprocs=2,
+        processes=(p0, p1),
+        profile_mapping={0: "f0", 1: "f1"},
+        profile_speeds={0: 2.0, 1: 2.0},
+    )
+
+
+def evaluator(nodes, latency_model, *, snapshot=None, options=EvaluationOptions(), lam=(1.0, 1.0)):
+    snap = snapshot or SystemSnapshot.unloaded(nodes, {n: 1 for n in nodes})
+    return MappingEvaluator(make_profile(lam), latency_model, nodes, snap, options)
+
+
+MSG_LATENCY = ALPHA + 100.0 * BETA  # one 100-byte message
+THETA = 10 * MSG_LATENCY  # the profile's single message group
+
+
+class TestComputationTerm:
+    def test_same_speed_same_r(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        assert pred.breakdown(0).computation == pytest.approx(10.0)  # X+O
+        assert pred.breakdown(1).computation == pytest.approx(5.0)
+
+    def test_slower_node_scales_r_by_speed_ratio(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        pred = ev.predict(TaskMapping(["s0", "f1"]))
+        # eq. 5: (X+O) * speed_profile/speed_j = 10 * 2.0/1.0.
+        assert pred.breakdown(0).computation == pytest.approx(20.0)
+
+    def test_measured_arch_ratio_preferred(self, nodes, latency_model):
+        profile = make_profile()
+        profile.arch_speed_ratios["slow"] = 1.6  # app runs atypically well
+        snap = SystemSnapshot.unloaded(nodes, {n: 1 for n in nodes})
+        ev = MappingEvaluator(profile, latency_model, nodes, snap)
+        pred = ev.predict(TaskMapping(["s0", "f1"]))
+        assert pred.breakdown(0).computation == pytest.approx(10.0 * 2.0 / 1.6)
+
+    def test_acpu_divides_r(self, nodes, latency_model):
+        snap = SystemSnapshot(
+            states={"f0": NodeState(background_load=1.0)},  # acpu = 0.5
+            ncpus={n: 1 for n in nodes},
+        )
+        ev = evaluator(nodes, latency_model, snapshot=snap)
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        assert pred.breakdown(0).computation == pytest.approx(20.0)
+
+    def test_co_mapped_procs_share_node(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        pred = ev.predict(TaskMapping(["f0", "f0"]))
+        # Two processes on one single-CPU node: ACPU = 0.5 each.
+        assert pred.breakdown(0).computation == pytest.approx(20.0)
+        assert pred.breakdown(1).computation == pytest.approx(10.0)
+
+
+class TestCommunicationTerm:
+    def test_theta_and_lambda(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model, lam=(0.5, 2.0))
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        # eq. 8: C_i = Theta_i * lambda_i; both ranks see the same group.
+        assert pred.breakdown(0).communication == pytest.approx(0.5 * THETA)
+        assert pred.breakdown(1).communication == pytest.approx(2.0 * THETA)
+
+    def test_communication_disabled(self, nodes, latency_model):
+        ev = evaluator(
+            nodes, latency_model, options=EvaluationOptions(communication=False), lam=(2.0, 2.0)
+        )
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        assert pred.breakdown(0).communication == 0.0
+
+    def test_lambda_disabled(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model, options=EvaluationOptions(use_lambda=False), lam=(2.0, 2.0))
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        assert pred.breakdown(0).communication == pytest.approx(THETA)
+
+    def test_load_adjusted_latency(self, nodes, latency_model):
+        snap = SystemSnapshot(
+            states={"f1": NodeState(background_load=1.0)},  # acpu 0.5 at dst
+            ncpus={n: 1 for n in nodes},
+        )
+        ev = evaluator(nodes, latency_model, snapshot=snap)
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        # Destination endpoint alpha doubles: per message +ALPHA/2.
+        expected = 10 * (ALPHA / 2 + ALPHA + 100 * BETA)
+        assert pred.breakdown(0).communication == pytest.approx(expected)
+
+    def test_no_load_latency_option(self, nodes, latency_model):
+        snap = SystemSnapshot(
+            states={"f1": NodeState(background_load=1.0)},
+            ncpus={n: 1 for n in nodes},
+        )
+        ev = evaluator(
+            nodes,
+            latency_model,
+            snapshot=snap,
+            options=EvaluationOptions(load_adjusted_latency=False, cpu_availability=False),
+        )
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        assert pred.breakdown(0).communication == pytest.approx(THETA)
+
+
+class TestEq4Aggregation:
+    def test_sm_is_max_of_r_plus_c(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        pred = ev.predict(TaskMapping(["f0", "f1"]))
+        totals = [p.computation + p.communication for p in pred.processes]
+        assert pred.execution_time == pytest.approx(max(totals))
+        assert pred.critical_rank == 0  # rank 0 has more compute
+
+    def test_critical_rank_follows_slow_node(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model, lam=(0.5, 2.0))
+        pred = ev.predict(TaskMapping(["f0", "s1"]))
+        # rank 1 on the slow node: R = 5*2 = 10 plus the larger C term.
+        assert pred.critical_rank == 1
+
+
+class TestInterface:
+    def test_wrong_size_mapping(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        with pytest.raises(InvalidMappingError):
+            ev.predict(TaskMapping(["f0"]))
+
+    def test_unknown_node(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        with pytest.raises(InvalidMappingError):
+            ev.predict(TaskMapping(["f0", "ghost"]))
+
+    def test_evaluation_counter(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        m = TaskMapping(["f0", "f1"])
+        ev.predict(m)
+        ev.execution_time(m)
+        assert ev.evaluations == 2
+
+    def test_compare_sorted_fastest_first(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        results = ev.compare([TaskMapping(["s0", "s1"]), TaskMapping(["f0", "f1"])])
+        assert results[0].execution_time <= results[1].execution_time
+        assert results[0].mapping == TaskMapping(["f0", "f1"])
+
+    def test_compare_empty(self, nodes, latency_model):
+        with pytest.raises(InvalidMappingError):
+            evaluator(nodes, latency_model).compare([])
+
+    def test_per_call_options_override(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model, lam=(1.0, 1.0))
+        m = TaskMapping(["f0", "f1"])
+        full = ev.execution_time(m)
+        nocomm = ev.execution_time(m, options=EvaluationOptions(communication=False))
+        assert nocomm < full
+        assert ev.evaluations == 2  # both counted on the same evaluator
+
+    def test_with_snapshot_rebinds(self, nodes, latency_model):
+        ev = evaluator(nodes, latency_model)
+        snap = SystemSnapshot(
+            states={"f0": NodeState(background_load=3.0)}, ncpus={n: 1 for n in nodes}
+        )
+        slower = ev.with_snapshot(snap).execution_time(TaskMapping(["f0", "f1"]))
+        assert slower > ev.execution_time(TaskMapping(["f0", "f1"]))

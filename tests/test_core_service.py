@@ -1,0 +1,117 @@
+"""Tests for the CBES service facade."""
+
+import pytest
+
+from repro.core import (
+    CBES,
+    EvaluationOptions,
+    NotCalibratedError,
+    TaskMapping,
+    UnknownProfileError,
+)
+from repro.cluster import single_switch
+from repro.schedulers import RandomScheduler
+from repro.workloads import SyntheticBenchmark
+
+
+@pytest.fixture
+def service():
+    svc = CBES(single_switch("mini", 6))
+    svc.calibrate(seed=2)
+    return svc
+
+
+@pytest.fixture
+def app():
+    return SyntheticBenchmark(comm_fraction=0.2, duration_s=2.0, steps=4)
+
+
+class TestLifecycle:
+    def test_calibration_requires_unloaded_system(self):
+        cluster = single_switch("mini", 4)
+        cluster.node("mini-n00").set_background_load(0.5)
+        with pytest.raises(NotCalibratedError, match="unloaded"):
+            CBES(cluster).calibrate()
+
+    def test_profile_requires_calibration(self, app):
+        svc = CBES(single_switch("mini", 4))
+        with pytest.raises(NotCalibratedError):
+            svc.profile_application(app, 2)
+
+    def test_evaluator_requires_calibration(self):
+        svc = CBES(single_switch("mini", 4))
+        with pytest.raises(NotCalibratedError):
+            svc.evaluator("anything")
+
+    def test_monitor_property_requires_attach(self, service):
+        with pytest.raises(NotCalibratedError):
+            _ = service.monitor
+
+    def test_start_monitoring(self, service):
+        monitor = service.start_monitoring(forecaster="last-value")
+        assert service.monitor is monitor
+        snap = service.snapshot()  # auto-polls once
+        assert snap.acpu(service.cluster.node_ids()[0]) > 0
+
+
+class TestProfiles:
+    def test_profile_registration(self, service, app):
+        profile = service.profile_application(app, 3, seed=1)
+        assert app.name in service.profiled_applications
+        assert service.profile(app.name) is profile
+        assert profile.nprocs == 3
+
+    def test_unknown_profile(self, service):
+        with pytest.raises(UnknownProfileError):
+            service.profile("ghost")
+
+    def test_profile_has_speed_ratios(self, service, app):
+        profile = service.profile_application(app, 2, seed=1)
+        assert set(profile.arch_speed_ratios) == set(service.cluster.architectures())
+
+    def test_custom_profiling_mapping(self, service, app):
+        nodes = service.cluster.node_ids()
+        mapping = TaskMapping([nodes[3], nodes[1]])
+        profile = service.profile_application(app, 2, mapping=mapping)
+        assert profile.profile_mapping == {0: nodes[3], 1: nodes[1]}
+
+    def test_lambda_values_reasonable(self, service, app):
+        profile = service.profile_application(app, 4, seed=1)
+        for proc in profile.processes:
+            assert 0.0 <= proc.lam < 20.0
+
+
+class TestComparisonRequests:
+    def test_compare_orders_results(self, service, app):
+        service.profile_application(app, 2, seed=1)
+        nodes = service.cluster.node_ids()
+        results = service.compare(
+            app.name, [TaskMapping(nodes[:2]), TaskMapping(nodes[2:4])]
+        )
+        assert len(results) == 2
+        assert results[0].execution_time <= results[1].execution_time
+
+    def test_evaluator_with_options(self, service, app):
+        service.profile_application(app, 2, seed=1)
+        ev = service.evaluator(app.name, options=EvaluationOptions(communication=False))
+        m = TaskMapping(service.cluster.node_ids()[:2])
+        assert ev.predict(m).breakdown(0).communication == 0.0
+
+    def test_schedule_with_external_scheduler(self, service, app):
+        service.profile_application(app, 2, seed=1)
+        result = service.schedule(app.name, RandomScheduler(), service.cluster.node_ids())
+        assert result.mapping.nprocs == 2
+        assert result.predicted_time > 0
+
+
+class TestPredictionAccuracy:
+    def test_prediction_close_to_measurement(self, service, app):
+        """End-to-end: profile once, predict, measure — low error."""
+        service.profile_application(app, 4, seed=0)
+        nodes = service.cluster.node_ids()
+        mapping = TaskMapping(nodes[:4])
+        predicted = service.evaluator(app.name).execution_time(mapping)
+        measured = service.simulator.run(
+            app.program(4), mapping.as_dict(), seed=99, arch_affinity=app.arch_affinity
+        ).total_time
+        assert predicted == pytest.approx(measured, rel=0.08)

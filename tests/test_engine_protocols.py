@@ -1,0 +1,188 @@
+"""Deeper engine tests: protocol boundaries, ordering, accounting."""
+
+import pytest
+
+from repro.profiling import TimeCategory, TraceAnalyzer
+from repro.simulate import (
+    ClusterSimulator,
+    Compute,
+    Exchange,
+    Program,
+    Recv,
+    Send,
+    SendRecv,
+    SimulationConfig,
+)
+from tests.conftest import make_tiny_cluster
+
+EXACT = SimulationConfig(jitter=0.0, contention=False)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = make_tiny_cluster(4)
+    c.use_exact_latency_model()
+    return c
+
+
+@pytest.fixture(scope="module")
+def sim(cluster):
+    return ClusterSimulator(cluster, EXACT)
+
+
+def mapping(cluster, n):
+    ids = cluster.node_ids()[:n]
+    return {r: ids[r] for r in range(n)}
+
+
+class TestEagerRendezvousBoundary:
+    def test_threshold_is_inclusive(self, cluster):
+        cfg = SimulationConfig(jitter=0.0, contention=False, eager_threshold_bytes=1000.0)
+        sim = ClusterSimulator(cluster, cfg)
+        m = mapping(cluster, 2)
+        # At exactly the threshold the send is eager: the sender
+        # finishes long before the receiver posts.
+        prog = Program("p", 2, [[Send(1, 1000.0)], [Compute(1.0), Recv(0, 1000.0)]])
+        res = sim.run(prog, m)
+        assert res.rank_end_times[0] < 0.5
+
+    def test_above_threshold_rendezvous(self, cluster):
+        cfg = SimulationConfig(jitter=0.0, contention=False, eager_threshold_bytes=1000.0)
+        sim = ClusterSimulator(cluster, cfg)
+        m = mapping(cluster, 2)
+        prog = Program("p", 2, [[Send(1, 1001.0)], [Compute(1.0), Recv(0, 1001.0)]])
+        res = sim.run(prog, m)
+        # Rendezvous: the sender waits for the receiver's compute.
+        assert res.rank_end_times[0] > 0.5
+
+    def test_zero_threshold_all_rendezvous(self, cluster):
+        cfg = SimulationConfig(jitter=0.0, contention=False, eager_threshold_bytes=0.0)
+        sim = ClusterSimulator(cluster, cfg)
+        m = mapping(cluster, 2)
+        prog = Program("p", 2, [[Send(1, 8.0)], [Compute(1.0), Recv(0, 8.0)]])
+        res = sim.run(prog, m)
+        assert res.rank_end_times[0] > 0.5
+
+    def test_mixed_protocol_ordering_preserved(self, cluster, sim):
+        # Eager then rendezvous on the same channel must match in order.
+        big = 10e6
+        prog = Program(
+            "p",
+            2,
+            [[Send(1, 100.0), Send(1, big)], [Recv(0, 100.0), Recv(0, big)]],
+        )
+        res = sim.run(prog, mapping(cluster, 2))
+        sizes = [msg.size_bytes for msg in res.trace.messages]
+        assert sizes == [100.0, big]
+
+    def test_many_queued_eager_sends(self, cluster, sim):
+        # A sender can run far ahead with eager messages.
+        n = 20
+        prog = Program(
+            "p",
+            2,
+            [
+                [Send(1, 64.0) for _ in range(n)],
+                [Compute(0.5)] + [Recv(0, 64.0) for _ in range(n)],
+            ],
+        )
+        res = sim.run(prog, mapping(cluster, 2))
+        assert res.messages_delivered == n
+        assert res.rank_end_times[0] < 0.1
+
+
+class TestExchangeSemantics:
+    def test_exchange_with_asymmetric_sizes(self, cluster, sim):
+        prog = Program(
+            "p", 2, [[Exchange(1, 1e6, 100.0)], [Exchange(0, 100.0, 1e6)]]
+        )
+        res = sim.run(prog, mapping(cluster, 2))
+        assert res.messages_delivered == 2
+        sizes = sorted(m.size_bytes for m in res.trace.messages)
+        assert sizes == [100.0, 1e6]
+
+    def test_sendrecv_to_distinct_peers(self, cluster, sim):
+        # rank1 relays: receives from 0 while sending to 2.
+        prog = Program(
+            "p",
+            3,
+            [
+                [Send(1, 1e6)],
+                [SendRecv(2, 1e6, 0, 1e6)],
+                [Recv(1, 1e6)],
+            ],
+        )
+        res = sim.run(prog, mapping(cluster, 3))
+        assert res.messages_delivered == 2
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_accounted_time_bounded_by_wall(self, cluster, seed):
+        sim = ClusterSimulator(cluster, SimulationConfig(jitter=0.02))
+        prog = Program("p", 4)
+        for r in range(4):
+            prog.ops[r].append(Compute(0.2 * (r + 1)))
+            prog.ops[r].append(SendRecv((r + 1) % 4, 5e5, (r - 1) % 4, 5e5))
+            prog.ops[r].append(Compute(0.1))
+        res = sim.run(prog, mapping(cluster, 4), seed=seed)
+        for rank in range(4):
+            accounted = sum(
+                res.trace.time_in(rank, cat)
+                for cat in (TimeCategory.OWN_CODE, TimeCategory.MPI_OVERHEAD, TimeCategory.BLOCKED)
+            )
+            assert accounted <= res.rank_end_times[rank] + 1e-9
+
+    def test_messages_delivered_matches_program(self, cluster, sim):
+        prog = Program("p", 4)
+        for r in range(4):
+            prog.ops[r].append(SendRecv((r + 1) % 4, 100.0, (r - 1) % 4, 100.0))
+        res = sim.run(prog, mapping(cluster, 4))
+        assert res.messages_delivered == prog.total_messages == 4
+
+    def test_same_node_communication_fast(self, cluster, sim):
+        node = cluster.node_ids()[0]
+        prog = Program("p", 2, [[Send(1, 1e6)], [Recv(0, 1e6)]])
+        res_local = sim.run(prog, {0: node, 1: node})
+        res_remote = sim.run(prog, mapping(cluster, 2))
+        assert res_local.total_time < res_remote.total_time / 5
+
+    def test_trace_mapping_copied(self, cluster, sim):
+        prog = Program("p", 1, [[Compute(0.1)]])
+        m = mapping(cluster, 1)
+        res = sim.run(prog, m)
+        assert res.trace.mapping == m
+        assert res.mapping == m
+
+    def test_run_does_not_mutate_node_state(self, cluster, sim):
+        prog = Program("p", 2, [[Send(1, 1e6)], [Recv(0, 1e6)]])
+        before = {nid: (n.background_load, n.nic_load) for nid, n in cluster.nodes.items()}
+        sim.run(prog, mapping(cluster, 2))
+        after = {nid: (n.background_load, n.nic_load) for nid, n in cluster.nodes.items()}
+        assert before == after
+
+
+class TestAnalyzerEngineConsistency:
+    def test_lambda_below_one_for_exchange(self, cluster, sim):
+        """Full-duplex exchanges overlap -> lambda < 1 (paper's range)."""
+        prog = Program("p", 2)
+        for _ in range(10):
+            prog.ops[0].append(Exchange(1, 1e6, 1e6))
+            prog.ops[1].append(Exchange(0, 1e6, 1e6))
+        res = sim.run(prog, mapping(cluster, 2))
+        prof = TraceAnalyzer(cluster.latency_model).analyze(
+            res.trace, profile_speeds={0: 1.0, 1: 1.0}
+        )
+        assert prof.process(0).lam < 1.0
+
+    def test_lambda_above_one_for_serialized(self, cluster, sim):
+        """Strictly serialized request/response -> lambda >= 1."""
+        prog = Program("p", 2)
+        for _ in range(10):
+            prog.ops[0] += [Send(1, 1e6), Recv(1, 1e6)]
+            prog.ops[1] += [Recv(0, 1e6), Send(0, 1e6)]
+        res = sim.run(prog, mapping(cluster, 2))
+        prof = TraceAnalyzer(cluster.latency_model).analyze(
+            res.trace, profile_speeds={0: 1.0, 1: 1.0}
+        )
+        assert prof.process(0).lam >= 0.95

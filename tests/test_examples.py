@@ -1,0 +1,66 @@
+"""Smoke tests for the runnable examples.
+
+The two fastest examples run end-to-end as subprocesses (they are the
+README's first contact with the library); the rest are imported and
+checked for a ``main`` entry point so a syntax or import regression in
+any example fails the suite without paying its full runtime.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+class TestExampleInventory:
+    def test_expected_examples_present(self):
+        expected = {
+            "quickstart.py",
+            "orange_grove_scheduling.py",
+            "prediction_accuracy.py",
+            "load_aware_remapping.py",
+            "custom_cluster.py",
+            "segment_scheduling.py",
+            "multi_tenant.py",
+        }
+        assert expected <= set(ALL_EXAMPLES)
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_defines_main(self, name):
+        spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", EXAMPLES / name)
+        module = importlib.util.module_from_spec(spec)
+        # Import only: main() stays behind the __main__ guard.
+        spec.loader.exec_module(module)
+        assert callable(getattr(module, "main", None)), name
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_has_docstring(self, name):
+        text = (EXAMPLES / name).read_text()
+        assert text.lstrip().startswith('"""'), name
+
+
+class TestExampleExecution:
+    @pytest.mark.parametrize("name", ["quickstart.py", "custom_cluster.py"])
+    def test_runs_cleanly(self, name):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip()
+
+    def test_quickstart_reports_speedup(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "speedup" in proc.stdout

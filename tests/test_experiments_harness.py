@@ -1,0 +1,125 @@
+"""Tests for the experiment harness and validation experiments."""
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.experiments.harness import ExperimentContext, Measurement, full_scale, repetitions
+from repro.experiments.validation import (
+    Phase1Config,
+    load_sensitivity,
+    phase1_sweep,
+    prediction_error_case,
+)
+from repro.workloads import SyntheticBenchmark
+
+
+@pytest.fixture
+def ctx():
+    return ExperimentContext(CBES(single_switch("mini", 8)))
+
+
+@pytest.fixture
+def app():
+    return SyntheticBenchmark(comm_fraction=0.2, duration_s=4.0, steps=4)
+
+
+class TestScaleControl:
+    def test_default_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        assert repetitions(3, 100) == 3
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        assert repetitions(3, 100) == 100
+
+    def test_repetitions_validation(self):
+        with pytest.raises(ValueError):
+            repetitions(0, 5)
+        with pytest.raises(ValueError):
+            repetitions(10, 5)
+
+
+class TestMeasurement:
+    def test_from_samples(self):
+        m = Measurement.from_samples([1.0, 2.0, 3.0])
+        assert m.mean == 2.0
+        assert m.runs == 3
+        assert m.ci95 > 0
+
+
+class TestContext:
+    def test_auto_calibrates(self):
+        service = CBES(single_switch("mini", 4))
+        assert not service.cluster.is_calibrated
+        ExperimentContext(service)
+        assert service.cluster.is_calibrated
+
+    def test_ensure_profiled_idempotent(self, ctx, app):
+        p1 = ctx.ensure_profiled(app, 4)
+        p2 = ctx.ensure_profiled(app, 4)
+        assert p1 is p2
+
+    def test_measure_repeats(self, ctx, app):
+        ctx.ensure_profiled(app, 4)
+        mapping = TaskMapping(ctx.service.cluster.node_ids()[:4])
+        m = ctx.measure(app, mapping, runs=3, seed=1)
+        assert m.runs == 3
+        assert m.mean > 0
+
+    def test_measure_validation(self, ctx, app):
+        mapping = TaskMapping(ctx.service.cluster.node_ids()[:4])
+        with pytest.raises(ValueError):
+            ctx.measure(app, mapping, runs=0)
+
+
+class TestPredictionErrorCase:
+    def test_error_small_on_unloaded_cluster(self, ctx, app):
+        case = prediction_error_case(ctx, app, 4, runs=3, seed=5)
+        assert case.error_percent < 8.0
+        assert case.measured.runs == 3
+        assert case.predicted > 0
+
+    def test_case_label(self, ctx, app):
+        case = prediction_error_case(ctx, app, 4, runs=2, case="MYCASE")
+        assert case.case == "MYCASE"
+
+
+class TestPhase1Sweep:
+    def test_tiny_sweep_mostly_accurate(self, ctx):
+        config = Phase1Config(
+            comm_fractions=(0.1, 0.4),
+            overlaps=(0.0, 1.0),
+            durations=(4.0,),
+            patterns=("ring",),
+            nprocs=(4,),
+            mappings_per_case=1,
+            runs_per_mapping=1,
+        )
+        errors = phase1_sweep(ctx, config, seed=2)
+        # 2 comm fractions x 2 overlaps x 1 duration x 1 pattern x 1
+        # process count x 1 mapping x 1 run.
+        assert len(errors) == 4
+        good = sum(1 for e in errors if e <= 6.0)
+        assert good / len(errors) >= 0.75
+
+
+class TestLoadSensitivity:
+    def test_stale_prediction_degrades_with_load(self, ctx, app):
+        points = load_sensitivity(
+            ctx, app, ctx.service.cluster.node_ids(), nprocs=4,
+            loads=(0.0, 0.3), runs=2, seed=3,
+        )
+        assert points[0].stale_error_percent < points[-1].stale_error_percent
+        # A fresh snapshot keeps the formula accurate even under load.
+        assert points[-1].fresh_error_percent < points[-1].stale_error_percent
+
+    def test_loads_restored_after_experiment(self, ctx, app):
+        load_sensitivity(
+            ctx, app, ctx.service.cluster.node_ids(), nprocs=4, loads=(0.4,), runs=1
+        )
+        assert all(
+            node.background_load == 0.0 for node in ctx.service.cluster.nodes.values()
+        )

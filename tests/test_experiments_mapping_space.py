@@ -1,0 +1,109 @@
+"""Tests for mapping-space signatures and representative sampling."""
+
+import pytest
+
+from repro.core import TaskMapping
+from repro.experiments.mapping_space import (
+    group_by_signature,
+    representative_sample,
+    signature,
+)
+
+
+@pytest.fixture(scope="module")
+def og(og_cluster):
+    return og_cluster
+
+
+class TestSignature:
+    def test_arch_mix_counted(self, og):
+        alphas = og.nodes_by_arch("alpha-533")
+        intels = og.nodes_by_arch("pii-400")
+        sig = signature(og, TaskMapping(alphas[:3] + intels[:2]))
+        assert dict(sig.arch_mix) == {"alpha-533": 3, "pii-400": 2}
+
+    def test_same_switch_distance_zero(self, og):
+        stack = og.nodes_by_switch("og-stack")
+        sig = signature(og, TaskMapping(stack[:3]))
+        assert sig.connectivity_mix == ((0, 3),)  # all 3 pairs co-located
+
+    def test_cross_federation_distance_positive(self, og):
+        sig = signature(og, TaskMapping(["og-s00", "og-s04"]))  # dl10 vs dl12
+        ((dist, count),) = sig.connectivity_mix
+        assert count == 1
+        assert dist >= 3  # dl10 -> stack -> sw11 -> dl12
+
+    def test_rank_permutation_same_signature(self, og):
+        alphas = og.nodes_by_arch("alpha-533")
+        a = signature(og, TaskMapping(alphas))
+        b = signature(og, TaskMapping(list(reversed(alphas))))
+        assert a == b
+
+    def test_different_node_sets_differ(self, og):
+        alphas = og.nodes_by_arch("alpha-533")
+        sparcs = og.nodes_by_arch("sparc-500")
+        assert signature(og, TaskMapping(alphas[:4])) != signature(og, TaskMapping(sparcs[:4]))
+
+    def test_str_readable(self, og):
+        text = str(signature(og, TaskMapping(og.nodes_by_arch("alpha-533")[:2])))
+        assert "alpha-533" in text
+
+
+class TestGrouping:
+    def test_groups_partition_input(self, og):
+        alphas = og.nodes_by_arch("alpha-533")
+        mappings = [
+            TaskMapping(alphas[:4]),
+            TaskMapping(list(reversed(alphas[:4]))),  # same group
+            TaskMapping(alphas[4:8]),  # different switches -> maybe new group
+        ]
+        groups = group_by_signature(og, mappings)
+        assert sum(len(g) for g in groups.values()) == 3
+        first_sig = signature(og, mappings[0])
+        assert len(groups[first_sig]) >= 2
+
+
+class TestRepresentativeSample:
+    def test_count_and_distinctness(self, og):
+        mappings = representative_sample(og, og.node_ids(), 8, count=25, seed=3)
+        assert len(mappings) == 25
+        assert len(set(mappings)) == 25
+
+    def test_signature_diversity(self, og):
+        mappings = representative_sample(og, og.node_ids(), 8, count=25, seed=3)
+        sigs = {signature(og, m) for m in mappings}
+        # The OG mapping space is rich: representatives should cover
+        # (almost) as many groups as mappings.
+        assert len(sigs) >= 20
+
+    def test_constraint_respected(self, og):
+        arch_of = {n: og.node(n).arch.name for n in og.node_ids()}
+
+        def has_sparc(mapping: TaskMapping) -> bool:
+            return any(arch_of[n] == "sparc-500" for n in mapping.nodes_used())
+
+        mappings = representative_sample(
+            og, og.node_ids(), 4, count=5, constraint=has_sparc, seed=4
+        )
+        assert len(mappings) == 5
+        assert all(has_sparc(m) for m in mappings)
+
+    def test_small_space_tops_up_with_distinct_mappings(self, og):
+        # 8 procs over exactly 8 alphas: one node set, one signature,
+        # but many distinct rank permutations.
+        alphas = og.nodes_by_arch("alpha-533")
+        mappings = representative_sample(og, alphas, 8, count=10, seed=5)
+        assert len(mappings) == 10
+        assert len(set(mappings)) == 10
+        assert len({signature(og, m) for m in mappings}) == 1
+
+    def test_validation(self, og):
+        with pytest.raises(ValueError):
+            representative_sample(og, og.node_ids(), 4, count=0)
+        with pytest.raises(ValueError):
+            representative_sample(og, og.node_ids(), 4, count=1, oversample=0)
+
+    def test_deterministic(self, og):
+        a = representative_sample(og, og.node_ids(), 6, count=8, seed=9)
+        b = representative_sample(og, og.node_ids(), 6, count=8, seed=9)
+        assert a == b

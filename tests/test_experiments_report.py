@@ -1,0 +1,68 @@
+"""Tests for the ASCII report renderers."""
+
+import pytest
+
+from repro.experiments.report import ascii_table, range_plot, text_histogram
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_title(self):
+        out = ascii_table(["h"], [["x"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_table([], [])
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = ascii_table(["a"], [])
+        assert "a" in out
+
+
+class TestTextHistogram:
+    def test_counts_preserved(self):
+        values = [1.0] * 5 + [10.0] * 3
+        out = text_histogram(values, bins=3)
+        total = sum(int(line.rsplit(" ", 1)[-1]) for line in out.splitlines())
+        assert total == 8
+
+    def test_constant_values(self):
+        out = text_histogram([2.0, 2.0], bins=4)
+        assert "#" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_histogram([])
+        with pytest.raises(ValueError):
+            text_histogram([1.0], bins=0)
+
+    def test_label(self):
+        out = text_histogram([1.0, 2.0], label="CS")
+        assert out.splitlines()[0] == "CS"
+
+
+class TestRangePlot:
+    def test_groups_rendered(self):
+        out = range_plot([("high", 200.0, 220.0), ("low", 300.0, 330.0)])
+        assert "high" in out and "low" in out
+        assert "[" in out and "]" in out
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            range_plot([("bad", 5.0, 1.0)])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            range_plot([])
+
+    def test_degenerate_span(self):
+        out = range_plot([("only", 5.0, 5.0)])
+        assert "only" in out

@@ -1,0 +1,125 @@
+"""Tests for the scheduling experiments (tables 1-4, figures 6-7 logic)."""
+
+import pytest
+
+from repro.core import CBES, TaskMapping
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.scheduling import (
+    average_case,
+    lu_zones,
+    sample_mapping_times,
+    worst_vs_best,
+)
+from repro.schedulers.annealing import AnnealingSchedule
+from repro.workloads import LU
+
+FAST_SA = AnnealingSchedule(moves_per_temperature=25, steps=15, patience=5)
+
+
+@pytest.fixture(scope="module")
+def ctx(og_service):
+    return ExperimentContext(og_service)
+
+
+@pytest.fixture(scope="module")
+def og_service():
+    from repro.cluster import orange_grove
+
+    cluster = orange_grove()
+    service = CBES(cluster)
+    service.calibrate(seed=1)
+    service.profile_application(
+        LU("A"), 8, mapping=TaskMapping(cluster.nodes_by_arch("alpha-533")), seed=0
+    )
+    return service
+
+
+class TestZones:
+    def test_three_zones_defined(self, ctx):
+        zones = lu_zones(ctx.service.cluster)
+        assert set(zones) == {"high", "medium", "low"}
+        assert len(zones["high"].pool) == 8
+        assert len(zones["medium"].pool) == 20
+        assert len(zones["low"].pool) == 28
+
+    def test_constraints(self, ctx):
+        zones = lu_zones(ctx.service.cluster)
+        cluster = ctx.service.cluster
+        check = zones["medium"].constraint(cluster)
+        all_alpha = TaskMapping(cluster.nodes_by_arch("alpha-533"))
+        mixed = TaskMapping(
+            cluster.nodes_by_arch("alpha-533")[:7] + cluster.nodes_by_arch("pii-400")[:1]
+        )
+        assert not check(all_alpha)
+        assert check(mixed)
+        assert zones["high"].constraint(cluster) is None
+
+    def test_zone_ordering_in_measured_time(self, ctx):
+        """Figure 6: the three zones are (mostly) disjoint time bands."""
+        app = LU("A")
+        zones = lu_zones(ctx.service.cluster)
+        high = sample_mapping_times(ctx, app, zones["high"], samples=4, seed=1)
+        medium = sample_mapping_times(ctx, app, zones["medium"], samples=4, seed=2)
+        low = sample_mapping_times(ctx, app, zones["low"], samples=4, seed=3)
+        assert max(high) < min(low)
+        assert min(high) < min(medium) < min(low)
+
+    def test_sample_count(self, ctx):
+        zones = lu_zones(ctx.service.cluster)
+        times = sample_mapping_times(ctx, LU("A"), zones["high"], samples=3, seed=1)
+        assert len(times) == 3
+
+
+class TestWorstVsBest:
+    def test_lu_high_zone_speedup_band(self, ctx):
+        """Table 1: within-zone speedups in the paper's 3-12 % band."""
+        zones = lu_zones(ctx.service.cluster)
+        result = worst_vs_best(
+            ctx, LU("A"), zones["high"].pool, runs=3, seed=1, schedule=FAST_SA
+        )
+        assert result.best.mean < result.worst.mean
+        assert 2.0 <= result.speedup_percent <= 15.0
+        assert not result.uncertain
+        assert result.scheduler_time_s > 0
+
+    def test_constraint_applied(self, ctx):
+        zones = lu_zones(ctx.service.cluster)
+        cluster = ctx.service.cluster
+        zone = zones["medium"]
+        result = worst_vs_best(
+            ctx,
+            LU("A"),
+            zone.pool,
+            constraint=zone.constraint(cluster),
+            runs=2,
+            seed=2,
+            schedule=FAST_SA,
+        )
+        arch_of = {n: cluster.node(n).arch.name for n in zone.pool}
+        assert any(arch_of[n] == "pii-400" for n in result.best_mapping.nodes_used())
+
+
+class TestAverageCase:
+    def test_cs_dominates_ncs(self, ctx):
+        """Table 2 shape: CS hit rate and measured time beat NCS."""
+        zones = lu_zones(ctx.service.cluster)
+        result = average_case(
+            ctx, LU("A"), zones["high"].pool, nruns=6, seed=3, schedule=FAST_SA
+        )
+        assert result.cs.measured.mean <= result.ncs.measured.mean
+        assert result.cs.hit_percent >= result.ncs.hit_percent
+        assert result.measured_speedup_percent >= 0.0
+        assert result.maximum_speedup_percent >= result.measured_speedup_percent - 3.0
+
+    def test_run_counts(self, ctx):
+        zones = lu_zones(ctx.service.cluster)
+        result = average_case(
+            ctx, LU("A"), zones["high"].pool, nruns=3, seed=4, schedule=FAST_SA
+        )
+        assert result.cs.predicted.runs == 3
+        assert len(result.ncs.measured_times) == 3
+
+    def test_nruns_validation(self, ctx):
+        zones = lu_zones(ctx.service.cluster)
+        with pytest.raises(ValueError):
+            average_case(ctx, LU("A"), zones["high"].pool, nruns=0)

@@ -1,0 +1,136 @@
+"""Tests for the NWS-style forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.forecasting import (
+    AR1,
+    AdaptiveForecaster,
+    Ewma,
+    LastValue,
+    SlidingMean,
+    SlidingMedian,
+    make_forecaster,
+)
+
+ALL_KINDS = ["last-value", "mean", "median", "ewma", "ar1", "adaptive"]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_empty_forecast_raises(self, kind):
+        with pytest.raises(RuntimeError):
+            make_forecaster(kind).forecast()
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_constant_series_forecast_constant(self, kind):
+        f = make_forecaster(kind)
+        for _ in range(20):
+            f.update(0.42)
+        assert f.forecast() == pytest.approx(0.42)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_rejects_non_finite(self, kind):
+        f = make_forecaster(kind)
+        with pytest.raises(ValueError):
+            f.update(float("nan"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown forecaster"):
+            make_forecaster("magic")
+
+
+class TestLastValue:
+    def test_tracks_latest(self):
+        f = LastValue()
+        for v in (1.0, 5.0, 2.0):
+            f.update(v)
+        assert f.forecast() == 2.0
+
+
+class TestSlidingMean:
+    def test_window_limits_history(self):
+        f = SlidingMean(window=3)
+        for v in (100.0, 1.0, 2.0, 3.0):
+            f.update(v)
+        assert f.forecast() == pytest.approx(2.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingMean(window=0)
+
+
+class TestSlidingMedian:
+    def test_robust_to_spike(self):
+        f = SlidingMedian(window=5)
+        for v in (1.0, 1.0, 50.0, 1.0, 1.0):
+            f.update(v)
+        assert f.forecast() == 1.0
+
+
+class TestEwma:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    def test_alpha_one_is_last_value(self):
+        f = Ewma(alpha=1.0)
+        for v in (3.0, 9.0):
+            f.update(v)
+        assert f.forecast() == 9.0
+
+    def test_smoothing(self):
+        f = Ewma(alpha=0.5)
+        f.update(0.0)
+        f.update(1.0)
+        assert f.forecast() == pytest.approx(0.5)
+
+
+class TestAR1:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            AR1(window=2)
+
+    def test_tracks_ar1_process_better_than_mean(self):
+        rng = np.random.default_rng(0)
+        phi, n = 0.9, 300
+        x = 0.5
+        ar1, mean = AR1(window=30), SlidingMean(window=30)
+        err_ar1 = err_mean = 0.0
+        for _ in range(n):
+            nxt = 0.5 + phi * (x - 0.5) + rng.normal(0, 0.02)
+            if ar1.observations > 5:
+                err_ar1 += abs(ar1.forecast() - nxt)
+                err_mean += abs(mean.forecast() - nxt)
+            ar1.update(nxt)
+            mean.update(nxt)
+            x = nxt
+        assert err_ar1 < err_mean
+
+    def test_short_history_falls_back(self):
+        f = AR1()
+        f.update(1.0)
+        assert f.forecast() == 1.0
+
+
+class TestAdaptive:
+    def test_picks_best_member(self):
+        # A noisy constant series: the median/mean members beat last-value.
+        rng = np.random.default_rng(1)
+        f = AdaptiveForecaster()
+        for _ in range(100):
+            f.update(0.3 + float(rng.normal(0, 0.05)))
+        best = f.best_member
+        assert not isinstance(best, LastValue)
+
+    def test_forecast_is_member_forecast(self):
+        f = AdaptiveForecaster()
+        for v in (1.0, 2.0, 3.0):
+            f.update(v)
+        assert f.forecast() == f.best_member.forecast()
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            AdaptiveForecaster(members=[])

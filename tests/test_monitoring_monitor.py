@@ -1,0 +1,156 @@
+"""Tests for sensors, SystemMonitor, snapshots, and load injection."""
+
+import pytest
+
+from repro.cluster.node import ALPHA_533, Node
+from repro.monitoring.load import LoadEvent, LoadGenerator
+from repro.monitoring.monitor import SystemMonitor
+from repro.monitoring.sensors import CpuSensor, NicSensor
+from repro.monitoring.snapshot import NodeState, SystemSnapshot
+from tests.conftest import make_tiny_cluster
+
+
+class TestSensors:
+    def test_noise_free_reads_truth(self):
+        node = Node("n", ALPHA_533)
+        node.set_background_load(0.3)
+        node.set_nic_load(0.2)
+        assert CpuSensor(node, noise=0.0).read() == 0.3
+        assert NicSensor(node, noise=0.0).read() == 0.2
+
+    def test_noisy_reads_clipped(self):
+        node = Node("n", ALPHA_533)
+        cpu = CpuSensor(node, noise=0.5, seed=1)
+        nic = NicSensor(node, noise=0.5, seed=1)
+        for _ in range(50):
+            assert cpu.read() >= 0.0
+            assert 0.0 <= nic.read() <= 1.0
+
+    def test_read_counter(self):
+        node = Node("n", ALPHA_533)
+        sensor = CpuSensor(node)
+        for _ in range(3):
+            sensor.read()
+        assert sensor.reads == 3
+
+    def test_deterministic_per_seed(self):
+        node = Node("n", ALPHA_533)
+        node.set_background_load(0.4)
+        a = [CpuSensor(node, seed=7).read() for _ in range(1)]
+        b = [CpuSensor(node, seed=7).read() for _ in range(1)]
+        assert a == b
+
+
+class TestSnapshot:
+    def test_unloaded(self):
+        snap = SystemSnapshot.unloaded(["a", "b"])
+        assert snap.acpu("a") == 1.0
+        assert snap.background_load("b") == 0.0
+
+    def test_from_cluster_reads_truth(self):
+        cluster = make_tiny_cluster()
+        cluster.node("n00").set_background_load(0.5)
+        snap = SystemSnapshot.from_cluster(cluster)
+        assert snap.background_load("n00") == 0.5
+        assert snap.acpu("n00") == pytest.approx(1 / 1.5)
+
+    def test_acpu_with_multiple_mapped_procs(self):
+        snap = SystemSnapshot(states={"a": NodeState(0.0)}, ncpus={"a": 2})
+        assert snap.acpu("a", mapped_procs=2) == 1.0
+        assert snap.acpu("a", mapped_procs=4) == pytest.approx(0.5)
+
+    def test_unknown_node_defaults(self):
+        snap = SystemSnapshot.unloaded(["a"])
+        assert snap.acpu("ghost") == 1.0
+        assert snap.nic_load("ghost") == 0.0
+
+    def test_with_load_copy(self):
+        snap = SystemSnapshot.unloaded(["a"])
+        loaded = snap.with_load("a", 0.4, 0.1)
+        assert snap.background_load("a") == 0.0
+        assert loaded.background_load("a") == 0.4
+        assert loaded.nic_load("a") == 0.1
+
+
+class TestSystemMonitor:
+    def test_snapshot_requires_poll(self):
+        monitor = SystemMonitor(make_tiny_cluster())
+        with pytest.raises(RuntimeError):
+            monitor.snapshot()
+
+    def test_last_value_tracks_load(self):
+        cluster = make_tiny_cluster()
+        monitor = SystemMonitor(cluster, forecaster="last-value", sensor_noise=0.0)
+        cluster.node("n01").set_background_load(0.6)
+        monitor.poll()
+        snap = monitor.snapshot()
+        assert snap.background_load("n01") == pytest.approx(0.6)
+        assert snap.background_load("n00") == 0.0
+
+    def test_forecaster_lag_after_change(self):
+        # A sliding-mean monitor needs several polls to converge — the
+        # effect behind the paper's phase-3 staleness findings.
+        cluster = make_tiny_cluster()
+        monitor = SystemMonitor(cluster, forecaster="mean", sensor_noise=0.0)
+        monitor.poll(rounds=10)
+        cluster.node("n00").set_background_load(1.0)
+        monitor.poll()
+        assert monitor.snapshot().background_load("n00") < 0.5
+        monitor.poll(rounds=20)
+        assert monitor.snapshot().background_load("n00") > 0.9
+
+    def test_snapshot_timestamp_advances(self):
+        monitor = SystemMonitor(make_tiny_cluster(), period_s=5.0)
+        monitor.poll(rounds=3)
+        assert monitor.snapshot().timestamp == pytest.approx(15.0)
+        assert monitor.polls == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SystemMonitor(make_tiny_cluster(), period_s=0.0)
+        monitor = SystemMonitor(make_tiny_cluster())
+        with pytest.raises(ValueError):
+            monitor.poll(rounds=0)
+
+
+class TestLoadGenerator:
+    def test_apply_and_restore(self):
+        cluster = make_tiny_cluster()
+        gen = LoadGenerator(cluster)
+        with gen.loaded([LoadEvent("n00", cpu_load=0.5, nic_load=0.2)]):
+            assert cluster.node("n00").background_load == 0.5
+            assert cluster.node("n00").nic_load == 0.2
+        assert cluster.node("n00").background_load == 0.0
+        assert cluster.node("n00").nic_load == 0.0
+
+    def test_restore_even_on_exception(self):
+        cluster = make_tiny_cluster()
+        gen = LoadGenerator(cluster)
+        with pytest.raises(RuntimeError):
+            with gen.loaded([LoadEvent("n00", cpu_load=0.9)]):
+                raise RuntimeError("boom")
+        assert cluster.node("n00").background_load == 0.0
+
+    def test_random_events_distinct_nodes(self):
+        cluster = make_tiny_cluster(4)
+        events = LoadGenerator(cluster, seed=1).random_events(3, cpu_range=(0.1, 0.4))
+        assert len({e.node_id for e in events}) == 3
+        assert all(0.1 <= e.cpu_load <= 0.4 for e in events)
+
+    def test_random_events_too_many(self):
+        cluster = make_tiny_cluster(2)
+        with pytest.raises(ValueError):
+            LoadGenerator(cluster).random_events(5)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            LoadEvent("n", cpu_load=-0.1)
+        with pytest.raises(ValueError):
+            LoadEvent("n", nic_load=1.5)
+
+    def test_clear(self):
+        cluster = make_tiny_cluster()
+        gen = LoadGenerator(cluster)
+        gen.apply([LoadEvent("n00", cpu_load=0.7)])
+        gen.clear()
+        assert cluster.node("n00").background_load == 0.0

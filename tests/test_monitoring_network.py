@@ -1,0 +1,91 @@
+"""Tests for the runtime network monitor (NWS latency sensor)."""
+
+import pytest
+
+from repro.monitoring.network import LatencySensor, NetworkMonitor
+from tests.conftest import make_tiny_cluster
+
+
+@pytest.fixture
+def cluster():
+    c = make_tiny_cluster(6, two_switches=True)
+    c.use_exact_latency_model()
+    return c
+
+
+class TestLatencySensor:
+    def test_noise_free_reads_adjusted_truth(self, cluster):
+        sensor = LatencySensor(cluster, "n00", "n01", noise=0.0)
+        idle = sensor.read()
+        cluster.node("n01").set_background_load(1.0)
+        loaded = sensor.read()
+        cluster.clear_loads()
+        assert loaded > idle
+
+    def test_nic_load_visible(self, cluster):
+        sensor = LatencySensor(cluster, "n00", "n01", noise=0.0)
+        idle = sensor.read(65536)
+        cluster.node("n00").set_nic_load(0.5)
+        busy = sensor.read(65536)
+        cluster.clear_loads()
+        assert busy > 1.5 * idle
+
+    def test_noise_validation(self, cluster):
+        with pytest.raises(ValueError):
+            LatencySensor(cluster, "n00", "n01", noise=-0.1)
+        sensor = LatencySensor(cluster, "n00", "n01")
+        with pytest.raises(ValueError):
+            sensor.read(0)
+
+
+class TestNetworkMonitor:
+    def test_requires_calibration(self):
+        raw = make_tiny_cluster(4)
+        with pytest.raises(RuntimeError, match="calibrated"):
+            NetworkMonitor(raw)
+
+    def test_sweep_covers_all_pairs(self, cluster):
+        monitor = NetworkMonitor(cluster, sensor_noise=0.0)
+        monitor.sweep()
+        ids = cluster.node_ids()
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                assert monitor.latency(a, b) > 0
+
+    def test_unprobed_pair_raises(self, cluster):
+        monitor = NetworkMonitor(cluster)
+        with pytest.raises(KeyError):
+            monitor.latency("n00", "n01")
+
+    def test_rounds_per_sweep_linear(self, cluster):
+        monitor = NetworkMonitor(cluster)
+        assert monitor.rounds_per_sweep <= cluster.size
+
+    def test_inflation_near_one_when_idle(self, cluster):
+        monitor = NetworkMonitor(cluster, sensor_noise=0.0)
+        monitor.sweep()
+        assert monitor.inflation("n00", "n02") == pytest.approx(1.0, rel=0.05)
+
+    def test_hotspots_detect_loaded_endpoint(self, cluster):
+        monitor = NetworkMonitor(cluster, sensor_noise=0.0)
+        cluster.node("n03").set_background_load(3.0)  # acpu 25%
+        monitor.sweep()
+        cluster.clear_loads()
+        hot = monitor.hotspots(threshold=1.2)
+        assert hot
+        assert all("n03" in (a, b) for a, b, _ in hot)
+
+    def test_hotspot_threshold_validation(self, cluster):
+        monitor = NetworkMonitor(cluster)
+        with pytest.raises(ValueError):
+            monitor.hotspots(threshold=0.0)
+
+    def test_poll_validation(self, cluster):
+        monitor = NetworkMonitor(cluster)
+        with pytest.raises(ValueError):
+            monitor.poll(rounds=0)
+
+    def test_unordered_pair_symmetric(self, cluster):
+        monitor = NetworkMonitor(cluster, sensor_noise=0.0)
+        monitor.sweep()
+        assert monitor.latency("n01", "n00") == monitor.latency("n00", "n01")

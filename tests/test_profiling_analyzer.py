@@ -1,0 +1,111 @@
+"""Tests for the trace analyzer (profile generation + eq. 7)."""
+
+import pytest
+
+from repro.cluster.latency import LatencyModel, PathComponents
+from repro.profiling.analyzer import TraceAnalyzer
+from repro.profiling.events import TimeCategory
+from repro.profiling.trace import ExecutionTrace
+
+
+@pytest.fixture
+def latency_model():
+    comps = PathComponents(10e-6, 10e-6, 5e-6, 1e-8)
+    pairs = {}
+    for a in ("na", "nb", "nc"):
+        for b in ("na", "nb", "nc"):
+            if a != b:
+                pairs[(a, b)] = comps
+    return LatencyModel(pairs)
+
+
+def build_trace():
+    trace = ExecutionTrace("app", 3, {0: "na", 1: "nb", 2: "nc"})
+    trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 2.0)
+    trace.record_time(0, TimeCategory.MPI_OVERHEAD, 2.0, 0.1)
+    trace.record_time(0, TimeCategory.BLOCKED, 2.1, 0.5)
+    trace.record_time(1, TimeCategory.OWN_CODE, 0.0, 1.0)
+    trace.record_time(2, TimeCategory.OWN_CODE, 0.0, 3.0)
+    # rank 0 sends two same-size messages to 1, one other-size to 2
+    trace.record_message(0, 1, 1000, 2.1, 2.2)
+    trace.record_message(0, 1, 1000, 2.3, 2.4)
+    trace.record_message(0, 2, 500, 2.5, 2.6)
+    trace.record_message(1, 0, 1000, 0.0, 0.2)
+    trace.finish(3.0)
+    return trace
+
+
+class TestAnalyze:
+    def test_requires_sealed_trace(self, latency_model):
+        trace = ExecutionTrace("app", 1, {0: "na"})
+        with pytest.raises(ValueError, match="finish"):
+            TraceAnalyzer(latency_model).analyze(trace, profile_speeds={0: 1.0})
+
+    def test_times_aggregated(self, latency_model):
+        prof = TraceAnalyzer(latency_model).analyze(
+            build_trace(), profile_speeds={0: 1.0, 1: 1.0, 2: 1.0}
+        )
+        p0 = prof.process(0)
+        assert p0.own_time == pytest.approx(2.0)
+        assert p0.overhead_time == pytest.approx(0.1)
+        assert p0.blocked_time == pytest.approx(0.5)
+
+    def test_message_groups_collapsed(self, latency_model):
+        prof = TraceAnalyzer(latency_model).analyze(
+            build_trace(), profile_speeds={0: 1.0, 1: 1.0, 2: 1.0}
+        )
+        p0 = prof.process(0)
+        sends = {(g.peer, g.size_bytes): g.count for g in p0.sends}
+        assert sends == {(1, 1000.0): 2, (2, 500.0): 1}
+        recvs = {(g.peer, g.size_bytes): g.count for g in p0.recvs}
+        assert recvs == {(1, 1000.0): 1}
+
+    def test_lambda_matches_eq7(self, latency_model):
+        trace = build_trace()
+        prof = TraceAnalyzer(latency_model).analyze(
+            trace, profile_speeds={0: 1.0, 1: 1.0, 2: 1.0}
+        )
+        p0 = prof.process(0)
+        # Theta^profile for rank 0: 3 sends + 1 recv at the model's latency.
+        theta_prof = (
+            2 * latency_model.no_load("na", "nb", 1000)
+            + latency_model.no_load("na", "nc", 500)
+            + latency_model.no_load("nb", "na", 1000)
+        )
+        assert p0.lam == pytest.approx(0.5 / theta_prof)
+
+    def test_lambda_defaults_to_one_without_comm(self, latency_model):
+        trace = ExecutionTrace("app", 1, {0: "na"})
+        trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 1.0)
+        trace.finish(1.0)
+        prof = TraceAnalyzer(latency_model).analyze(trace, profile_speeds={0: 1.0})
+        assert prof.process(0).lam == 1.0
+
+    def test_profile_mapping_copied(self, latency_model):
+        prof = TraceAnalyzer(latency_model).analyze(
+            build_trace(), profile_speeds={0: 1.0, 1: 1.0, 2: 1.0}
+        )
+        assert prof.profile_mapping == {0: "na", 1: "nb", 2: "nc"}
+
+    def test_per_segment_profiles(self, latency_model):
+        trace = ExecutionTrace("app", 2, {0: "na", 1: "nb"})
+        trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 1.0, segment=0)
+        trace.record_time(0, TimeCategory.OWN_CODE, 1.0, 5.0, segment=1)
+        trace.record_time(1, TimeCategory.OWN_CODE, 0.0, 6.0, segment=1)
+        trace.finish(6.0)
+        prof = TraceAnalyzer(latency_model).analyze(
+            trace, profile_speeds={0: 1.0, 1: 1.0}, per_segment=True
+        )
+        assert set(prof.segments) == {0, 1}
+        assert prof.segments[0].process(0).own_time == 1.0
+        assert prof.segments[1].process(0).own_time == 5.0
+        # Top-level profile still aggregates everything.
+        assert prof.process(0).own_time == 6.0
+
+    def test_arch_ratios_attached(self, latency_model):
+        prof = TraceAnalyzer(latency_model).analyze(
+            build_trace(),
+            profile_speeds={0: 1.0, 1: 1.0, 2: 1.0},
+            arch_speed_ratios={"alpha-533": 1.5},
+        )
+        assert prof.arch_speed_ratios == {"alpha-533": 1.5}

@@ -1,0 +1,185 @@
+"""Tests for the profile database and trace export tooling."""
+
+import json
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.cluster.latency import LatencyModel
+from repro.core import CBES, TaskMapping
+from repro.profiling import (
+    ProfileDatabase,
+    TimeCategory,
+    gantt,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+    utilization,
+)
+from repro.profiling.trace import ExecutionTrace
+from repro.workloads import SyntheticBenchmark
+
+
+@pytest.fixture
+def service():
+    svc = CBES(single_switch("mini", 6))
+    svc.calibrate(seed=2)
+    return svc
+
+
+@pytest.fixture
+def app():
+    return SyntheticBenchmark(comm_fraction=0.3, duration_s=2.0, steps=4)
+
+
+class TestProfileDatabase:
+    def test_latency_model_roundtrip(self, tmp_path, service):
+        db = ProfileDatabase(tmp_path)
+        model = service.cluster.latency_model
+        db.save_latency_model("mini", model)
+        loaded = db.load_latency_model("mini")
+        for src, dst in model.pairs():
+            assert loaded.no_load(src, dst, 4096) == model.no_load(src, dst, 4096)
+
+    def test_missing_system_profile(self, tmp_path):
+        with pytest.raises(KeyError):
+            ProfileDatabase(tmp_path).load_latency_model("ghost")
+
+    def test_profile_roundtrip(self, tmp_path, service, app):
+        db = ProfileDatabase(tmp_path)
+        profile = service.profile_application(app, 3, seed=1)
+        db.save_profile(profile)
+        loaded = db.load_profile(app.name)
+        assert loaded.to_dict() == profile.to_dict()
+
+    def test_applications_listing(self, tmp_path, service, app):
+        db = ProfileDatabase(tmp_path)
+        assert db.applications() == []
+        db.save_profile(service.profile_application(app, 2, seed=1))
+        assert db.applications() == [app.name]
+
+    def test_delete_profile(self, tmp_path, service, app):
+        db = ProfileDatabase(tmp_path)
+        db.save_profile(service.profile_application(app, 2, seed=1))
+        assert db.delete_profile(app.name)
+        assert not db.delete_profile(app.name)
+        assert db.applications() == []
+
+    def test_foreign_files_ignored(self, tmp_path):
+        db = ProfileDatabase(tmp_path)
+        (tmp_path / "applications" / "junk.json").write_text("not json")
+        (tmp_path / "applications" / "other.json").write_text(json.dumps({"x": 1}))
+        assert db.applications() == []
+
+    def test_snapshot_and_attach_service(self, tmp_path, service, app):
+        db = ProfileDatabase(tmp_path)
+        service.profile_application(app, 3, seed=1)
+        assert db.snapshot_service(service) == 1
+        # A brand new service on the same hardware reloads everything.
+        fresh = CBES(single_switch("mini", 6))
+        assert not fresh.cluster.is_calibrated
+        loaded = db.attach(fresh)
+        assert loaded == 1
+        assert fresh.cluster.is_calibrated
+        assert app.name in fresh.profiled_applications
+        # ...and can evaluate immediately, without recalibration.
+        mapping = TaskMapping(fresh.cluster.node_ids()[:3])
+        assert fresh.evaluator(app.name).execution_time(mapping) > 0
+
+    def test_attach_rejects_wrong_cluster(self, tmp_path, service):
+        db = ProfileDatabase(tmp_path)
+        db.snapshot_service(service)
+        other = CBES(single_switch("mini", 8))  # two extra nodes
+        with pytest.raises(ValueError, match="lacks nodes"):
+            db.attach(other)
+
+    def test_slug_sanitizes_names(self, tmp_path, service, app):
+        db = ProfileDatabase(tmp_path)
+        profile = service.profile_application(app, 2, seed=1)
+        object.__setattr__  # (profiles are plain dataclasses; rename via dict)
+        data = profile.to_dict()
+        data["app_name"] = "weird/../name"
+        from repro.profiling import ApplicationProfile
+
+        weird = ApplicationProfile.from_dict(data)
+        path = db.save_profile(weird)
+        assert path.parent == tmp_path / "applications"
+        assert "/" not in path.name.replace(".json", "")
+
+
+class TestTraceExport:
+    def make_trace(self):
+        trace = ExecutionTrace("app", 2, {0: "a", 1: "b"})
+        trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 1.0)
+        trace.record_time(0, TimeCategory.BLOCKED, 1.0, 0.5)
+        trace.record_time(1, TimeCategory.OWN_CODE, 0.0, 1.2)
+        trace.record_time(1, TimeCategory.MPI_OVERHEAD, 1.2, 0.1)
+        trace.record_message(0, 1, 1024, 1.0, 1.4)
+        trace.record_marker(0, 1.5, 1, "phase")
+        trace.finish(1.5)
+        return trace
+
+    def test_dict_roundtrip(self):
+        trace = self.make_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert trace_to_dict(rebuilt) == trace_to_dict(trace)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = self.make_trace()
+        save_trace(trace, tmp_path / "t.json")
+        loaded = load_trace(tmp_path / "t.json")
+        assert loaded.total_time == trace.total_time
+        assert len(loaded.messages) == 1
+
+    def test_roundtrip_through_analyzer(self, tmp_path, service, app):
+        mapping = TaskMapping(service.cluster.node_ids()[:3])
+        result = service.simulator.run(
+            app.program(3), mapping.as_dict(), seed=1, arch_affinity=app.arch_affinity
+        )
+        save_trace(result.trace, tmp_path / "run.json")
+        loaded = load_trace(tmp_path / "run.json")
+        from repro.profiling import TraceAnalyzer
+
+        prof_a = TraceAnalyzer(service.cluster.latency_model).analyze(
+            result.trace, profile_speeds={r: 1.0 for r in range(3)}
+        )
+        prof_b = TraceAnalyzer(service.cluster.latency_model).analyze(
+            loaded, profile_speeds={r: 1.0 for r in range(3)}
+        )
+        assert prof_a.to_dict() == prof_b.to_dict()
+
+
+class TestGantt:
+    def test_renders_one_row_per_rank(self):
+        trace = TestTraceExport().make_trace()
+        chart = gantt(trace, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert lines[1].startswith("r0")
+        assert "#" in lines[1] and "." in lines[1]
+
+    def test_requires_sealed_trace(self):
+        trace = ExecutionTrace("app", 1, {0: "a"})
+        with pytest.raises(ValueError):
+            gantt(trace)
+
+    def test_width_validation(self):
+        trace = TestTraceExport().make_trace()
+        with pytest.raises(ValueError):
+            gantt(trace, width=5)
+
+
+class TestUtilization:
+    def test_shares_sum_to_one(self):
+        trace = TestTraceExport().make_trace()
+        shares = utilization(trace)
+        for rank in range(2):
+            assert sum(shares[rank].values()) == pytest.approx(1.0)
+
+    def test_values_match_records(self):
+        trace = TestTraceExport().make_trace()
+        shares = utilization(trace)
+        assert shares[0]["X"] == pytest.approx(1.0 / 1.5)
+        assert shares[0]["B"] == pytest.approx(0.5 / 1.5)
+        assert shares[1]["O"] == pytest.approx(0.1 / 1.5)

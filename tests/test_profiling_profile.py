@@ -1,0 +1,157 @@
+"""Tests for ApplicationProfile / ProcessProfile / theta (eq. 6)."""
+
+import pytest
+
+from repro.profiling.profile import (
+    ApplicationProfile,
+    MessageGroup,
+    ProcessProfile,
+    theta,
+)
+
+
+def proc(rank, sends=(), recvs=(), X=10.0, O=1.0, B=2.0, lam=1.0):
+    return ProcessProfile(
+        rank=rank,
+        own_time=X,
+        overhead_time=O,
+        blocked_time=B,
+        sends=tuple(sends),
+        recvs=tuple(recvs),
+        lam=lam,
+    )
+
+
+def profile_of(procs, **kwargs):
+    n = len(procs)
+    defaults = dict(
+        app_name="app",
+        nprocs=n,
+        processes=tuple(procs),
+        profile_mapping={r: f"n{r}" for r in range(n)},
+        profile_speeds={r: 1.0 for r in range(n)},
+    )
+    defaults.update(kwargs)
+    return ApplicationProfile(**defaults)
+
+
+class TestMessageGroup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageGroup(-1, 10, 1)
+        with pytest.raises(ValueError):
+            MessageGroup(0, -10, 1)
+        with pytest.raises(ValueError):
+            MessageGroup(0, 10, 0)
+
+
+class TestProcessProfile:
+    def test_compute_time(self):
+        assert proc(0, X=5.0, O=2.0).compute_time == 7.0
+
+    def test_bytes_sent(self):
+        p = proc(0, sends=[MessageGroup(1, 100, 3), MessageGroup(2, 50, 2)])
+        assert p.bytes_sent == 400
+
+    def test_message_count_includes_recvs(self):
+        p = proc(0, sends=[MessageGroup(1, 100, 3)], recvs=[MessageGroup(1, 10, 5)])
+        assert p.message_count == 8
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessProfile(0, -1.0, 0.0, 0.0)
+
+
+class TestTheta:
+    def test_eq6_sums_both_directions(self):
+        # Latency model: constant 1s per message regardless of pair/size.
+        p = proc(
+            0,
+            sends=[MessageGroup(1, 100, 3)],
+            recvs=[MessageGroup(1, 100, 2), MessageGroup(2, 10, 1)],
+        )
+        mapping = {0: "a", 1: "b", 2: "c"}
+        assert theta(p, mapping, lambda s, d, size: 1.0) == pytest.approx(6.0)
+
+    def test_latency_receives_correct_endpoints(self):
+        calls = []
+
+        def latency(src, dst, size):
+            calls.append((src, dst, size))
+            return 0.0
+
+        p = proc(0, sends=[MessageGroup(1, 100, 1)], recvs=[MessageGroup(2, 50, 1)])
+        theta(p, {0: "a", 1: "b", 2: "c"}, latency)
+        assert ("a", "b", 100) in calls  # send: me -> peer
+        assert ("c", "a", 50) in calls  # recv: peer -> me
+
+    def test_counts_scale_linearly(self):
+        p1 = proc(0, sends=[MessageGroup(1, 100, 1)])
+        p5 = proc(0, sends=[MessageGroup(1, 100, 5)])
+        lat = lambda s, d, size: 0.25  # noqa: E731
+        assert theta(p5, {0: "a", 1: "b"}, lat) == 5 * theta(p1, {0: "a", 1: "b"}, lat)
+
+    def test_no_communication_is_zero(self):
+        assert theta(proc(0), {0: "a"}, lambda s, d, size: 1.0) == 0.0
+
+
+class TestApplicationProfile:
+    def test_requires_ordered_complete_processes(self):
+        with pytest.raises(ValueError):
+            profile_of([proc(0), proc(2)])
+
+    def test_mapping_coverage_enforced(self):
+        with pytest.raises(ValueError):
+            profile_of([proc(0), proc(1)], profile_mapping={0: "n0"})
+
+    def test_speeds_positive(self):
+        with pytest.raises(ValueError):
+            profile_of([proc(0)], profile_speeds={0: 0.0})
+
+    def test_comp_comm_ratio(self):
+        p = profile_of([proc(0, X=6.0, O=2.0, B=2.0)])
+        comp, comm = p.comp_comm_ratio
+        assert comp == pytest.approx(0.8)
+        assert comm == pytest.approx(0.2)
+
+    def test_comp_comm_ratio_no_time(self):
+        p = profile_of([proc(0, X=0.0, O=0.0, B=0.0)])
+        assert p.comp_comm_ratio == (1.0, 0.0)
+
+    def test_speed_ratio_fallback(self):
+        p = profile_of([proc(0)], arch_speed_ratios={"alpha-533": 1.4})
+        assert p.speed_ratio_for("alpha-533", 1.3) == 1.4
+        assert p.speed_ratio_for("pii-400", 1.15) == 1.15
+
+    def test_process_bounds(self):
+        p = profile_of([proc(0)])
+        with pytest.raises(ValueError):
+            p.process(1)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        p = profile_of(
+            [
+                proc(0, sends=[MessageGroup(1, 100.0, 3)], lam=0.8),
+                proc(1, recvs=[MessageGroup(0, 100.0, 3)], lam=1.2),
+            ],
+            arch_speed_ratios={"alpha-533": 1.31},
+        )
+        path = tmp_path / "profile.json"
+        p.save(path)
+        loaded = ApplicationProfile.load(path)
+        assert loaded.app_name == p.app_name
+        assert loaded.processes == p.processes
+        assert loaded.profile_mapping == p.profile_mapping
+        assert loaded.profile_speeds == p.profile_speeds
+        assert loaded.arch_speed_ratios == p.arch_speed_ratios
+
+    def test_roundtrip_with_segments(self, tmp_path):
+        seg = profile_of([proc(0, X=1.0)])
+        p = profile_of([proc(0)], segments={1: seg})
+        path = tmp_path / "p.json"
+        p.save(path)
+        loaded = ApplicationProfile.load(path)
+        assert 1 in loaded.segments
+        assert loaded.segments[1].processes[0].own_time == 1.0

@@ -1,0 +1,41 @@
+"""Tests for per-architecture speed-ratio measurement."""
+
+import pytest
+
+from repro.cluster.node import ALPHA_533, INTEL_PII_400, SPARC_500
+from repro.profiling.speeds import measure_speed_ratios
+
+ARCHS = [ALPHA_533, INTEL_PII_400, SPARC_500]
+
+
+class TestMeasureSpeedRatios:
+    def test_noise_free_equals_truth(self):
+        ratios = measure_speed_ratios(ARCHS, noise=0.0)
+        assert ratios == {a.name: a.base_speed for a in ARCHS}
+
+    def test_affinity_applied(self):
+        ratios = measure_speed_ratios(
+            ARCHS, affinity=lambda name: 2.0 if name == "alpha-533" else 1.0, noise=0.0
+        )
+        assert ratios["alpha-533"] == pytest.approx(2 * ALPHA_533.base_speed)
+        assert ratios["pii-400"] == pytest.approx(INTEL_PII_400.base_speed)
+
+    def test_noisy_measurement_close(self):
+        ratios = measure_speed_ratios(ARCHS, noise=0.005, seed=1, repetitions=5)
+        for arch in ARCHS:
+            assert ratios[arch.name] == pytest.approx(arch.base_speed, rel=0.03)
+
+    def test_deterministic_per_seed_and_app(self):
+        a = measure_speed_ratios(ARCHS, seed=3, app_name="lu.A")
+        b = measure_speed_ratios(ARCHS, seed=3, app_name="lu.A")
+        c = measure_speed_ratios(ARCHS, seed=3, app_name="mg.A")
+        assert a == b
+        assert a != c  # different app -> different measurement noise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_speed_ratios(ARCHS, noise=-1.0)
+        with pytest.raises(ValueError):
+            measure_speed_ratios(ARCHS, repetitions=0)
+        with pytest.raises(ValueError):
+            measure_speed_ratios(ARCHS, affinity=lambda name: 0.0)

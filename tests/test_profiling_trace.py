@@ -1,0 +1,81 @@
+"""Tests for trace records and the ExecutionTrace container."""
+
+import pytest
+
+from repro.profiling.events import MessageRecord, TimeCategory, TimeRecord
+from repro.profiling.trace import ExecutionTrace
+
+
+@pytest.fixture
+def trace():
+    return ExecutionTrace("app", 3, {0: "na", 1: "nb", 2: "nc"})
+
+
+class TestRecords:
+    def test_time_record_validation(self):
+        with pytest.raises(ValueError):
+            TimeRecord(-1, TimeCategory.OWN_CODE, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TimeRecord(0, TimeCategory.OWN_CODE, 0.0, -1.0)
+        with pytest.raises(ValueError):
+            TimeRecord(0, TimeCategory.OWN_CODE, -1.0, 1.0)
+
+    def test_message_record_validation(self):
+        with pytest.raises(ValueError):
+            MessageRecord(0, 0, 10, 0.0, 1.0)  # self message
+        with pytest.raises(ValueError):
+            MessageRecord(0, 1, -1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            MessageRecord(0, 1, 10, 2.0, 1.0)  # recv before send
+
+    def test_categories_match_paper_symbols(self):
+        assert TimeCategory.OWN_CODE.value == "X"
+        assert TimeCategory.MPI_OVERHEAD.value == "O"
+        assert TimeCategory.BLOCKED.value == "B"
+
+
+class TestExecutionTrace:
+    def test_mapping_must_cover_ranks(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace("app", 2, {0: "na"})
+        with pytest.raises(ValueError):
+            ExecutionTrace("app", 2, {0: "na", 2: "nb"})
+
+    def test_zero_duration_slices_dropped(self, trace):
+        trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 0.0)
+        assert trace.time_records == []
+
+    def test_time_in_accumulates(self, trace):
+        trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 1.0)
+        trace.record_time(0, TimeCategory.OWN_CODE, 2.0, 3.0)
+        trace.record_time(0, TimeCategory.BLOCKED, 1.0, 1.0)
+        trace.record_time(1, TimeCategory.OWN_CODE, 0.0, 9.0)
+        assert trace.time_in(0, TimeCategory.OWN_CODE) == 4.0
+        assert trace.time_in(0, TimeCategory.BLOCKED) == 1.0
+        assert trace.time_in(0, TimeCategory.MPI_OVERHEAD) == 0.0
+
+    def test_time_in_per_segment(self, trace):
+        trace.record_time(0, TimeCategory.OWN_CODE, 0.0, 1.0, segment=0)
+        trace.record_time(0, TimeCategory.OWN_CODE, 1.0, 2.0, segment=1)
+        assert trace.time_in(0, TimeCategory.OWN_CODE, segment=1) == 2.0
+        assert trace.segments == [0, 1]
+
+    def test_message_filters(self, trace):
+        trace.record_message(0, 1, 100, 0.0, 0.1)
+        trace.record_message(1, 0, 200, 0.2, 0.3)
+        trace.record_message(0, 2, 300, 0.4, 0.5)
+        assert [m.size_bytes for m in trace.messages_from(0)] == [100, 300]
+        assert [m.size_bytes for m in trace.messages_to(0)] == [200]
+
+    def test_rank_bounds_checked(self, trace):
+        with pytest.raises(ValueError):
+            trace.record_time(3, TimeCategory.OWN_CODE, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            trace.record_message(0, 5, 10, 0.0, 1.0)
+
+    def test_finish_seals(self, trace):
+        assert trace.total_time is None
+        trace.finish(12.5)
+        assert trace.total_time == 12.5
+        with pytest.raises(ValueError):
+            trace.finish(-1.0)

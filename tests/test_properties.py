@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import spawn_rng, stable_hash
+from repro.cluster.latency import PathComponents
+from repro.core import TaskMapping
+from repro.monitoring.forecasting import make_forecaster
+from repro.profiling.profile import ApplicationProfile, MessageGroup, ProcessProfile, theta
+from repro.schedulers.moves import MoveGenerator
+from repro.simulate.contention import cpu_share
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+node_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=6
+)
+
+
+class TestMappingProperties:
+    @given(st.lists(node_names, min_size=1, max_size=12))
+    def test_roundtrip_dict(self, nodes):
+        m = TaskMapping(nodes)
+        assert TaskMapping(m.as_dict()) == m
+
+    @given(st.lists(node_names, min_size=2, max_size=12), st.data())
+    def test_swap_involution(self, nodes, data):
+        m = TaskMapping(nodes)
+        a = data.draw(st.integers(0, len(nodes) - 1))
+        b = data.draw(st.integers(0, len(nodes) - 1))
+        assert m.with_swap(a, b).with_swap(a, b) == m
+
+    @given(st.lists(node_names, min_size=1, max_size=12))
+    def test_procs_per_node_sums_to_nprocs(self, nodes):
+        m = TaskMapping(nodes)
+        assert sum(m.procs_per_node().values()) == m.nprocs
+
+    @given(st.lists(node_names, min_size=1, max_size=10), st.data())
+    def test_with_assignment_changes_one_rank(self, nodes, data):
+        m = TaskMapping(nodes)
+        rank = data.draw(st.integers(0, len(nodes) - 1))
+        m2 = m.with_assignment(rank, "zzz-new")
+        diffs = [r for r in range(m.nprocs) if m.node_of(r) != m2.node_of(r)]
+        assert diffs in ([], [rank])
+
+
+class TestLatencyProperties:
+    components = st.builds(
+        PathComponents,
+        alpha_src=st.floats(0, 1e-3),
+        alpha_dst=st.floats(0, 1e-3),
+        alpha_net=st.floats(0, 1e-3),
+        beta=st.floats(0, 1e-6),
+    )
+
+    @given(components, st.floats(0, 1e8), st.floats(0, 1e8))
+    def test_no_load_monotone_in_size(self, pc, s1, s2):
+        lo, hi = sorted((s1, s2))
+        assert pc.no_load(lo) <= pc.no_load(hi)
+
+    @given(
+        components,
+        st.floats(0, 1e7),
+        st.floats(0.01, 1.0),
+        st.floats(0.01, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_adjusted_never_below_no_load(self, pc, size, acpu_s, acpu_d, nic):
+        assert pc.adjusted(size, acpu_src=acpu_s, acpu_dst=acpu_d, nic_src=nic) >= (
+            pc.no_load(size) - 1e-18
+        )
+
+    @given(components, st.floats(0, 1e7))
+    def test_adjusted_idle_equals_no_load(self, pc, size):
+        assert math.isclose(pc.adjusted(size), pc.no_load(size), rel_tol=1e-12, abs_tol=1e-18)
+
+
+class TestCpuShareProperties:
+    @given(st.integers(1, 8), st.integers(1, 16), st.floats(0, 8))
+    def test_share_in_unit_interval(self, ncpus, procs, bg):
+        share = cpu_share(ncpus, procs, bg)
+        assert 0.0 < share <= 1.0
+
+    @given(st.integers(1, 8), st.integers(1, 16), st.floats(0, 4), st.floats(0, 4))
+    def test_share_monotone_in_background(self, ncpus, procs, bg1, bg2):
+        lo, hi = sorted((bg1, bg2))
+        assert cpu_share(ncpus, procs, hi) <= cpu_share(ncpus, procs, lo)
+
+    @given(st.integers(1, 8), st.integers(1, 16), st.floats(0, 4))
+    def test_total_allocation_within_capacity(self, ncpus, procs, bg):
+        share = cpu_share(ncpus, procs, bg)
+        assert share * procs <= ncpus + 1e-9
+
+
+class TestThetaProperties:
+    groups = st.lists(
+        st.builds(
+            MessageGroup,
+            peer=st.integers(0, 3),
+            size_bytes=st.floats(0, 1e6),
+            count=st.integers(1, 50),
+        ),
+        max_size=5,
+    )
+
+    @given(groups, groups)
+    def test_theta_nonnegative_and_additive(self, sends, recvs):
+        proc = ProcessProfile(
+            0, 1.0, 0.1, 0.2, sends=tuple(sends), recvs=tuple(recvs)
+        )
+        mapping = {r: f"n{r}" for r in range(4)}
+        lat = lambda s, d, size: 1e-4 + size * 1e-9  # noqa: E731
+        value = theta(proc, mapping, lat)
+        assert value >= 0
+        expected = sum(g.count * lat("x", "y", g.size_bytes) for g in sends) + sum(
+            g.count * lat("x", "y", g.size_bytes) for g in recvs
+        )
+        assert math.isclose(value, expected, rel_tol=1e-9)
+
+
+class TestProfileSerializationProperty:
+    procs = st.integers(1, 5)
+
+    @given(procs, st.data())
+    @settings(max_examples=25)
+    def test_roundtrip(self, n, data):
+        processes = []
+        for rank in range(n):
+            sends = tuple(
+                MessageGroup(
+                    peer=data.draw(st.integers(0, n - 1)),
+                    size_bytes=float(data.draw(st.integers(0, 10**6))),
+                    count=data.draw(st.integers(1, 9)),
+                )
+                for _ in range(data.draw(st.integers(0, 3)))
+            )
+            processes.append(
+                ProcessProfile(
+                    rank,
+                    own_time=float(data.draw(st.integers(0, 100))),
+                    overhead_time=float(data.draw(st.integers(0, 10))),
+                    blocked_time=float(data.draw(st.integers(0, 50))),
+                    sends=sends,
+                    lam=float(data.draw(st.integers(0, 5))),
+                )
+            )
+        profile = ApplicationProfile(
+            app_name="prop",
+            nprocs=n,
+            processes=tuple(processes),
+            profile_mapping={r: f"n{r}" for r in range(n)},
+            profile_speeds={r: 1.0 + r * 0.1 for r in range(n)},
+        )
+        assert ApplicationProfile.from_dict(profile.to_dict()).to_dict() == profile.to_dict()
+
+
+class TestMoveProperties:
+    @given(st.integers(2, 10), st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_moves_preserve_invariants(self, pool_size, nprocs, seed):
+        if nprocs > pool_size:
+            nprocs = pool_size
+        pool = [f"n{i}" for i in range(pool_size)]
+        moves = MoveGenerator(pool)
+        rng = spawn_rng(seed, "prop-move")
+        mapping = TaskMapping(pool[:nprocs])
+        for _ in range(10):
+            mapping = moves.neighbour(mapping, rng)
+            assert mapping.nprocs == nprocs
+            assert mapping.is_one_per_node
+            assert set(mapping.nodes_used()) <= set(pool)
+
+
+class TestPatternProperties:
+    @given(st.integers(2, 12), st.integers(0, 11), st.floats(1, 1e6))
+    @settings(max_examples=30)
+    def test_bcast_always_balanced(self, n, root, size):
+        root = root % n
+        b = ProgramBuilder("p", n)
+        b.bcast(range(n), root, size)
+        b.build()  # validate() raises on any unbalanced channel
+
+    @given(st.integers(2, 12), st.floats(1, 1e6))
+    @settings(max_examples=30)
+    def test_allreduce_always_balanced(self, n, size):
+        b = ProgramBuilder("p", n)
+        b.allreduce(range(n), size)
+        b.build()
+
+    @given(st.integers(2, 9), st.floats(1, 1e5))
+    @settings(max_examples=20)
+    def test_alltoall_always_balanced(self, n, size):
+        b = ProgramBuilder("p", n)
+        b.alltoall(range(n), size)
+        b.build()
+
+    @given(st.integers(1, 64))
+    def test_grid_dims_product_invariant(self, n):
+        for ndims in (1, 2, 3):
+            assert math.prod(grid_dims(n, ndims)) == n
+
+
+class TestForecasterProperties:
+    @given(
+        st.sampled_from(["last-value", "mean", "median", "ewma", "ar1", "adaptive"]),
+        st.lists(st.floats(0, 10), min_size=1, max_size=40),
+    )
+    @settings(max_examples=50)
+    def test_forecast_within_observed_hull(self, kind, series):
+        f = make_forecaster(kind)
+        for v in series:
+            f.update(v)
+        forecast = f.forecast()
+        lo, hi = min(series), max(series)
+        margin = (hi - lo) + 1e-9
+        assert lo - margin <= forecast <= hi + margin
+
+
+class TestHashProperties:
+    @given(st.lists(st.one_of(st.integers(), st.text(), st.floats(allow_nan=False)), max_size=5))
+    def test_stable_hash_deterministic(self, parts):
+        assert stable_hash(*parts) == stable_hash(*parts)

@@ -1,0 +1,72 @@
+"""Tests for the contention models."""
+
+import pytest
+
+from repro.simulate.contention import LinkContentionTracker, cpu_share
+from tests.conftest import make_tiny_cluster
+
+
+class TestCpuShare:
+    def test_idle_full_share(self):
+        assert cpu_share(1, 1, 0.0) == 1.0
+
+    def test_two_procs_one_cpu(self):
+        assert cpu_share(1, 2, 0.0) == pytest.approx(0.5)
+
+    def test_background_counts_as_demand(self):
+        assert cpu_share(1, 1, 1.0) == pytest.approx(0.5)
+
+    def test_multi_cpu_absorbs(self):
+        assert cpu_share(4, 3, 1.0) == 1.0
+        assert cpu_share(4, 5, 1.0) == pytest.approx(4 / 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpu_share(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            cpu_share(1, 0, 0.0)
+        with pytest.raises(ValueError):
+            cpu_share(1, 1, -0.5)
+
+
+class TestLinkContentionTracker:
+    @pytest.fixture
+    def tracker(self):
+        cluster = make_tiny_cluster(6, two_switches=True)
+        return LinkContentionTracker(cluster.fabric), cluster
+
+    def test_same_switch_path_has_no_shared_links(self, tracker):
+        t, cluster = tracker
+        # n00 and n02 are both on sw0: host links only, never inflated.
+        t.register("n00", "n02", 0.0, 1.0)
+        assert t.concurrency("n00", "n02", 0.0, 1.0) == 0
+
+    def test_cross_switch_overlap_counted(self, tracker):
+        t, _ = tracker
+        t.register("n00", "n01", 0.0, 1.0)  # crosses sw0-sw1
+        assert t.concurrency("n02", "n03", 0.5, 1.5) == 1
+        assert t.concurrency("n02", "n03", 2.0, 3.0) == 0
+
+    def test_multiple_overlaps(self, tracker):
+        t, _ = tracker
+        for k in range(3):
+            t.register("n00", "n01", 0.0, 1.0)
+        assert t.concurrency("n02", "n03", 0.9, 1.1) == 3
+
+    def test_boundary_touching_does_not_overlap(self, tracker):
+        t, _ = tracker
+        t.register("n00", "n01", 0.0, 1.0)
+        assert t.concurrency("n02", "n03", 1.0, 2.0) == 0
+
+    def test_clear(self, tracker):
+        t, _ = tracker
+        t.register("n00", "n01", 0.0, 1.0)
+        t.clear()
+        assert t.concurrency("n02", "n03", 0.0, 1.0) == 0
+
+    def test_invalid_interval(self, tracker):
+        t, _ = tracker
+        with pytest.raises(ValueError):
+            t.register("n00", "n01", 1.0, 0.5)
+        with pytest.raises(ValueError):
+            t.concurrency("n00", "n01", 1.0, 0.5)

@@ -1,0 +1,248 @@
+"""Tests for the discrete-event execution engine."""
+
+import pytest
+
+from repro.profiling import TimeCategory
+from repro.simulate import (
+    ClusterSimulator,
+    Compute,
+    Exchange,
+    Marker,
+    Program,
+    Recv,
+    Send,
+    SendRecv,
+    SimulationConfig,
+    SimulationDeadlock,
+)
+from tests.conftest import make_tiny_cluster
+
+EXACT = SimulationConfig(jitter=0.0, contention=False)
+
+
+@pytest.fixture
+def cluster():
+    c = make_tiny_cluster(4)
+    c.use_exact_latency_model()
+    return c
+
+
+@pytest.fixture
+def sim(cluster):
+    return ClusterSimulator(cluster, EXACT)
+
+
+def mapping(cluster, n):
+    ids = cluster.node_ids()[:n]
+    return {r: ids[r] for r in range(n)}
+
+
+class TestConfig:
+    def test_validation(self):
+        for bad in (
+            dict(jitter=-0.1),
+            dict(mpi_overhead_s=-1.0),
+            dict(eager_threshold_bytes=-1.0),
+            dict(contention_gamma=-0.5),
+        ):
+            with pytest.raises(ValueError):
+                SimulationConfig(**bad)
+
+
+class TestComputeOnly:
+    def test_duration_is_work_over_speed(self, cluster, sim):
+        prog = Program("p", 1, [[Compute(2.0)]])
+        node = cluster.node_ids()[0]
+        res = sim.run(prog, {0: node})
+        assert res.total_time == pytest.approx(2.0 / cluster.node(node).arch.base_speed)
+
+    def test_affinity_scales_speed(self, cluster, sim):
+        prog = Program("p", 1, [[Compute(2.0)]])
+        node = cluster.node_ids()[0]
+        base = sim.run(prog, {0: node}).total_time
+        fast = sim.run(prog, {0: node}, arch_affinity=lambda a: 2.0).total_time
+        assert fast == pytest.approx(base / 2.0)
+
+    def test_background_load_slows(self, cluster):
+        sim = ClusterSimulator(cluster, EXACT)
+        prog = Program("p", 1, [[Compute(1.0)]])
+        node = cluster.node_ids()[0]
+        idle = sim.run(prog, {0: node}).total_time
+        cluster.node(node).set_background_load(1.0)
+        loaded = sim.run(prog, {0: node}).total_time
+        assert loaded == pytest.approx(2.0 * idle)
+
+    def test_co_mapped_procs_timeshare(self, cluster, sim):
+        prog = Program("p", 2, [[Compute(1.0)], [Compute(1.0)]])
+        node = cluster.node_ids()[0]
+        res = sim.run(prog, {0: node, 1: node})
+        solo = sim.run(Program("p", 1, [[Compute(1.0)]]), {0: node})
+        assert res.total_time == pytest.approx(2.0 * solo.total_time)
+
+    def test_jitter_varies_per_seed(self, cluster):
+        sim = ClusterSimulator(cluster, SimulationConfig(jitter=0.05, contention=False))
+        prog = Program("p", 1, [[Compute(1.0)]])
+        node = cluster.node_ids()[0]
+        t1 = sim.run(prog, {0: node}, seed=1).total_time
+        t2 = sim.run(prog, {0: node}, seed=2).total_time
+        assert t1 != t2
+
+    def test_deterministic_per_seed(self, cluster):
+        sim = ClusterSimulator(cluster, SimulationConfig(jitter=0.05))
+        prog = Program("p", 2, [[Compute(1.0), Send(1, 1000)], [Recv(0, 1000)]])
+        m = mapping(cluster, 2)
+        assert sim.run(prog, m, seed=9).total_time == sim.run(prog, m, seed=9).total_time
+
+
+class TestPointToPoint:
+    def test_rendezvous_blocks_sender_until_delivery(self, cluster, sim):
+        big = 10e6  # above eager threshold
+        prog = Program("p", 2, [[Send(1, big)], [Compute(1.0), Recv(0, big)]])
+        m = mapping(cluster, 2)
+        res = sim.run(prog, m)
+        # The sender can only finish after the receiver's compute plus
+        # the transfer; both ranks end together.
+        lat = cluster.latency_model.no_load(m[0], m[1], big)
+        compute = 1.0 / cluster.node(m[1]).arch.base_speed
+        assert res.rank_end_times[0] == pytest.approx(compute + lat, rel=1e-3)
+
+    def test_eager_sender_does_not_wait_for_receiver(self, cluster, sim):
+        small = 1000.0
+        prog = Program("p", 2, [[Send(1, small)], [Compute(1.0), Recv(0, small)]])
+        m = mapping(cluster, 2)
+        res = sim.run(prog, m)
+        compute = 1.0 / cluster.node(m[1]).arch.base_speed
+        # Sender finishes long before the receiver even posts.
+        assert res.rank_end_times[0] < 0.01
+        assert res.rank_end_times[1] == pytest.approx(compute, rel=0.01)
+
+    def test_eager_receiver_waits_for_arrival(self, cluster, sim):
+        small = 1000.0
+        prog = Program("p", 2, [[Compute(1.0), Send(1, small)], [Recv(0, small)]])
+        m = mapping(cluster, 2)
+        res = sim.run(prog, m)
+        lat = cluster.latency_model.no_load(m[0], m[1], small)
+        compute = 1.0 / cluster.node(m[0]).arch.base_speed
+        assert res.rank_end_times[1] == pytest.approx(compute + lat, rel=0.05)
+
+    def test_exchange_overlaps_directions(self, cluster, sim):
+        size = 1e6  # rendezvous either way
+        ex = Program("p", 2, [[Exchange(1, size, size)], [Exchange(0, size, size)]])
+        serial = Program(
+            "p", 2, [[Send(1, size), Recv(1, size)], [Recv(0, size), Send(0, size)]]
+        )
+        m = mapping(cluster, 2)
+        t_ex = sim.run(ex, m).total_time
+        t_serial = sim.run(serial, m).total_time
+        assert t_ex < t_serial * 0.75
+
+    def test_sendrecv_ring_no_deadlock(self, cluster, sim):
+        prog = Program("p", 4)
+        for r in range(4):
+            prog.ops[r].append(SendRecv((r + 1) % 4, 5e5, (r - 1) % 4, 5e5))
+        res = sim.run(prog, mapping(cluster, 4))
+        assert res.messages_delivered == 4
+
+    def test_message_order_preserved_per_channel(self, cluster, sim):
+        # Two eager sends to the same peer match its recvs in order.
+        prog = Program(
+            "p", 2, [[Send(1, 100), Send(1, 200)], [Recv(0, 100), Recv(0, 200)]]
+        )
+        res = sim.run(prog, mapping(cluster, 2))
+        sizes = [m.size_bytes for m in res.trace.messages]
+        assert sizes == [100, 200]
+
+
+class TestDeadlocks:
+    def test_facing_rendezvous_sends_deadlock(self, cluster, sim):
+        big = 1e6
+        prog = Program("p", 2, [[Send(1, big), Recv(1, big)], [Send(0, big), Recv(0, big)]])
+        with pytest.raises(SimulationDeadlock):
+            sim.run(prog, mapping(cluster, 2))
+
+    def test_facing_eager_sends_complete(self, cluster, sim):
+        small = 100.0
+        prog = Program(
+            "p", 2, [[Send(1, small), Recv(1, small)], [Send(0, small), Recv(0, small)]]
+        )
+        res = sim.run(prog, mapping(cluster, 2))  # eager protocol saves it
+        assert res.messages_delivered == 2
+
+    def test_missing_sender_reported(self, cluster, sim):
+        prog = Program("p", 2, [[], [Recv(0, 10)]])
+        with pytest.raises(ValueError, match="unbalanced"):
+            sim.run(prog, mapping(cluster, 2))
+
+
+class TestValidationErrors:
+    def test_incomplete_mapping(self, cluster, sim):
+        prog = Program("p", 2, [[Compute(1.0)], [Compute(1.0)]])
+        with pytest.raises(ValueError):
+            sim.run(prog, {0: cluster.node_ids()[0]})
+
+    def test_unknown_node(self, cluster, sim):
+        prog = Program("p", 1, [[Compute(1.0)]])
+        with pytest.raises(KeyError):
+            sim.run(prog, {0: "ghost"})
+
+
+class TestTraceAccounting:
+    def test_categories_complete(self, cluster, sim):
+        prog = Program(
+            "p",
+            2,
+            [[Compute(0.5), Send(1, 1e6), Marker("end")], [Recv(0, 1e6), Compute(0.2)]],
+        )
+        res = sim.run(prog, mapping(cluster, 2))
+        trace = res.trace
+        for rank in range(2):
+            total = sum(
+                trace.time_in(rank, cat)
+                for cat in (TimeCategory.OWN_CODE, TimeCategory.MPI_OVERHEAD, TimeCategory.BLOCKED)
+            )
+            # Accounted time never exceeds the rank's elapsed time.
+            assert total <= res.rank_end_times[rank] + 1e-9
+
+    def test_marker_advances_segment(self, cluster, sim):
+        prog = Program("p", 1, [[Compute(0.1), Marker("phase2"), Compute(0.2)]])
+        res = sim.run(prog, {0: cluster.node_ids()[0]})
+        assert res.trace.segments == [0, 1]
+        assert len(res.trace.markers) == 1
+
+    def test_collect_trace_false(self, cluster, sim):
+        prog = Program("p", 1, [[Compute(0.1)]])
+        res = sim.run(prog, {0: cluster.node_ids()[0]}, collect_trace=False)
+        assert res.trace is None
+        assert res.total_time > 0
+
+    def test_total_is_max_rank_time(self, cluster, sim):
+        prog = Program("p", 2, [[Compute(2.0)], [Compute(0.1)]])
+        res = sim.run(prog, mapping(cluster, 2))
+        assert res.total_time == max(res.rank_end_times)
+
+
+class TestContention:
+    def test_shared_link_inflates_latency(self):
+        cluster = make_tiny_cluster(6, two_switches=True)
+        cluster.use_exact_latency_model()
+        # Three simultaneous cross-switch rendezvous transfers.
+        prog = Program("p", 6)
+        size = 2e6
+        for a, b in ((0, 1), (2, 3), (4, 5)):
+            prog.ops[a].append(Send(b, size))
+            prog.ops[b].append(Recv(a, size))
+        ids = cluster.node_ids()
+        # n00,n02,n04 on sw0; n01,n03,n05 on sw1 -> all cross the uplink.
+        m = {r: ids[r] for r in range(6)}
+        quiet = ClusterSimulator(cluster, SimulationConfig(jitter=0.0, contention=False))
+        busy = ClusterSimulator(
+            cluster, SimulationConfig(jitter=0.0, contention=True, contention_gamma=1.0)
+        )
+        assert busy.run(prog, m).total_time > quiet.run(prog, m).total_time
+
+    def test_effective_speed_helper(self, cluster, sim):
+        node = cluster.node_ids()[0]
+        assert sim.effective_speed(node) == cluster.node(node).arch.base_speed
+        assert sim.effective_speed(node, mapped_procs=2) == pytest.approx(
+            cluster.node(node).arch.base_speed / 2
+        )

@@ -1,0 +1,114 @@
+"""Tests for the program IR and its validation."""
+
+import pytest
+
+from repro.simulate.program import (
+    Compute,
+    Exchange,
+    Marker,
+    Program,
+    Recv,
+    Send,
+    SendRecv,
+)
+
+
+class TestOps:
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_send_recv_validation(self):
+        with pytest.raises(ValueError):
+            Send(-1, 10)
+        with pytest.raises(ValueError):
+            Send(0, -10)
+        with pytest.raises(ValueError):
+            Recv(-1, 10)
+
+    def test_exchange_validation(self):
+        with pytest.raises(ValueError):
+            Exchange(-1, 10, 10)
+        with pytest.raises(ValueError):
+            Exchange(0, -1, 10)
+
+    def test_sendrecv_validation(self):
+        with pytest.raises(ValueError):
+            SendRecv(-1, 10, 0, 10)
+        with pytest.raises(ValueError):
+            SendRecv(1, 10, 0, -1)
+
+    def test_ops_frozen(self):
+        with pytest.raises(AttributeError):
+            Compute(1.0).work = 2.0  # type: ignore[misc]
+
+
+class TestProgram:
+    def test_empty_streams_created(self):
+        prog = Program("p", 3)
+        assert len(prog.ops) == 3
+        assert all(s == [] for s in prog.ops)
+
+    def test_stream_count_checked(self):
+        with pytest.raises(ValueError):
+            Program("p", 2, [[Compute(1.0)]])
+
+    def test_rank_ops_bounds(self):
+        prog = Program("p", 2)
+        with pytest.raises(ValueError):
+            prog.rank_ops(2)
+
+
+class TestValidate:
+    def test_balanced_program_passes(self):
+        prog = Program("p", 2, [[Send(1, 10)], [Recv(0, 10)]])
+        prog.validate()
+
+    def test_unbalanced_channel_rejected(self):
+        prog = Program("p", 2, [[Send(1, 10), Send(1, 10)], [Recv(0, 10)]])
+        with pytest.raises(ValueError, match="unbalanced"):
+            prog.validate()
+
+    def test_self_send_rejected(self):
+        prog = Program("p", 2, [[Send(0, 10)], []])
+        with pytest.raises(ValueError, match="itself"):
+            prog.validate()
+
+    def test_out_of_range_rank_rejected(self):
+        prog = Program("p", 2, [[Send(5, 10)], []])
+        with pytest.raises(ValueError, match="rank 5"):
+            prog.validate()
+
+    def test_exchange_counts_both_directions(self):
+        prog = Program("p", 2, [[Exchange(1, 10, 10)], [Exchange(0, 10, 10)]])
+        prog.validate()
+
+    def test_exchange_missing_counterpart(self):
+        prog = Program("p", 2, [[Exchange(1, 10, 10)], []])
+        with pytest.raises(ValueError, match="unbalanced"):
+            prog.validate()
+
+    def test_sendrecv_balance(self):
+        # 3-ring of SendRecv: every channel balanced.
+        prog = Program("p", 3)
+        for r in range(3):
+            prog.ops[r].append(SendRecv((r + 1) % 3, 10, (r - 1) % 3, 10))
+        prog.validate()
+
+
+class TestAccounting:
+    def test_total_work(self):
+        prog = Program("p", 2, [[Compute(1.0), Compute(2.0)], [Compute(3.0)]])
+        assert prog.total_work == 6.0
+
+    def test_total_messages(self):
+        prog = Program(
+            "p",
+            2,
+            [
+                [Send(1, 10), Exchange(1, 5, 5), Marker()],
+                [Recv(0, 10), Exchange(0, 5, 5)],
+            ],
+        )
+        # Send=1, each Exchange counts once per issuing rank (2 total).
+        assert prog.total_messages == 3

@@ -1,0 +1,130 @@
+"""Tests for time-varying load timelines (the short-term-load story)."""
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.simulate import Compute, Program, SimulationConfig
+from repro.simulate.timeline import LoadTimeline
+from repro.workloads import SyntheticBenchmark
+
+
+class TestLoadTimeline:
+    def test_static_when_no_points(self):
+        tl = LoadTimeline(initial=0.5)
+        assert tl.is_static
+        assert tl.load_at(0.0) == 0.5
+        assert tl.load_at(100.0) == 0.5
+
+    def test_load_at_follows_breakpoints(self):
+        tl = LoadTimeline([(10.0, 1.0), (20.0, 0.0)], initial=0.0)
+        assert tl.load_at(5.0) == 0.0
+        assert tl.load_at(10.0) == 1.0
+        assert tl.load_at(19.9) == 1.0
+        assert tl.load_at(25.0) == 0.0
+
+    def test_share_at_uses_cpu_share(self):
+        tl = LoadTimeline([(0.0, 1.0)], ncpus=1, mapped_procs=1)
+        assert tl.share_at(1.0) == pytest.approx(0.5)
+
+    def test_finish_time_constant_share(self):
+        tl = LoadTimeline(initial=1.0)  # share = 0.5 throughout
+        assert tl.finish_time(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_finish_time_integrates_across_breakpoints(self):
+        # Full speed until t=10, then half speed.
+        tl = LoadTimeline([(10.0, 1.0)], initial=0.0)
+        # 15 cpu-seconds: 10 at full speed + 5 at half = 10 + 10 wall.
+        assert tl.finish_time(0.0, 15.0) == pytest.approx(20.0)
+
+    def test_short_burst_costs_only_its_deficit(self):
+        # A 5-second full-load burst inside a 100-cpu-second run.
+        tl = LoadTimeline([(10.0, 1.0), (15.0, 0.0)], initial=0.0)
+        finish = tl.finish_time(0.0, 100.0)
+        # Burst delivers 2.5 cpu-seconds over 5 wall-seconds: +2.5s total.
+        assert finish == pytest.approx(102.5)
+
+    def test_burst_before_start_ignored(self):
+        tl = LoadTimeline([(1.0, 1.0), (2.0, 0.0)], initial=0.0)
+        assert tl.finish_time(5.0, 10.0) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTimeline(initial=-1.0)
+        with pytest.raises(ValueError):
+            LoadTimeline([(-1.0, 0.5)])
+        with pytest.raises(ValueError):
+            LoadTimeline([(0.0, -0.5)])
+        with pytest.raises(ValueError):
+            LoadTimeline(ncpus=0)
+        tl = LoadTimeline()
+        with pytest.raises(ValueError):
+            tl.finish_time(-1.0, 1.0)
+
+
+class TestEngineWithSchedules:
+    @pytest.fixture
+    def service(self):
+        svc = CBES(single_switch("mini", 4))
+        svc.calibrate(seed=1)
+        return svc
+
+    def test_schedule_slows_compute(self, service):
+        node = service.cluster.node_ids()[0]
+        prog = Program("p", 1, [[Compute(10.0)]])
+        base = service.simulator.run(prog, {0: node}, seed=1).total_time
+        service.cluster.node(node).set_load_schedule([(0.0, 1.0)])
+        loaded = service.simulator.run(prog, {0: node}, seed=1).total_time
+        service.cluster.clear_loads()
+        assert loaded == pytest.approx(2 * base, rel=0.05)
+
+    def test_short_burst_barely_moves_total(self, service):
+        """The paper's tolerated 'instantaneous or short term loads'."""
+        node = service.cluster.node_ids()[0]
+        prog = Program("p", 1, [[Compute(50.0)]])
+        base = service.simulator.run(prog, {0: node}, seed=1).total_time
+        # A full-CPU hog for 2 simulated seconds in the middle of ~43s.
+        service.cluster.node(node).set_load_schedule([(20.0, 1.0), (22.0, 0.0)])
+        bursty = service.simulator.run(prog, {0: node}, seed=1).total_time
+        service.cluster.clear_loads()
+        assert bursty - base == pytest.approx(1.0, abs=0.3)  # half the burst span
+        assert (bursty - base) / base < 0.05
+
+    def test_schedule_cleared_with_clear_loads(self, service):
+        node = service.cluster.node_ids()[0]
+        service.cluster.node(node).set_load_schedule([(0.0, 1.0)])
+        service.cluster.clear_loads()
+        assert service.cluster.node(node).load_schedule is None
+
+    def test_prediction_survives_short_burst_not_sustained_load(self, service):
+        """Phase-3, both halves, via the standing prediction."""
+        app = SyntheticBenchmark(comm_fraction=0.1, duration_s=40.0, steps=8, name="burst")
+        mapping = TaskMapping(service.cluster.node_ids()[:4])
+        service.profile_application(app, 4, mapping=mapping, seed=0)
+        predicted = service.evaluator(app.name).execution_time(mapping)
+        program = app.program(4)
+        victim = mapping.node_of(0)
+
+        def measured() -> float:
+            return service.simulator.run(
+                program, mapping.as_dict(), seed=5, arch_affinity=app.arch_affinity,
+                collect_trace=False,
+            ).total_time
+
+        # Short burst: 3 simulated seconds of full load on one node.
+        service.cluster.node(victim).set_load_schedule([(10.0, 1.0), (13.0, 0.0)])
+        burst_err = abs(predicted - measured()) / measured() * 100
+        service.cluster.clear_loads()
+        # Sustained: the same load for the whole run.
+        service.cluster.node(victim).set_background_load(1.0)
+        sustained_err = abs(predicted - measured()) / measured() * 100
+        service.cluster.clear_loads()
+        assert burst_err < 6.0
+        assert sustained_err > 4 * burst_err
+
+    def test_schedule_validation(self, service):
+        node = service.cluster.node(service.cluster.node_ids()[0])
+        with pytest.raises(ValueError):
+            node.set_load_schedule([(-1.0, 0.5)])
+        with pytest.raises(ValueError):
+            node.set_load_schedule([(0.0, -0.5)])

@@ -1,0 +1,133 @@
+"""Tests for repro._util."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    check_fraction,
+    check_positive,
+    mean_and_ci95,
+    percent_error,
+    spawn_rng,
+    stable_hash,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-2.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+
+class TestCheckFraction:
+    def test_accepts_bounds(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0001, "f")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, "f")
+
+    def test_open_low_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f", closed_low=False)
+
+    def test_open_low_accepts_small(self):
+        assert check_fraction(1e-9, "f", closed_low=False) == 1e-9
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_distinct_inputs_distinct_hashes(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_nonnegative_63bit(self):
+        h = stable_hash("anything", 42)
+        assert 0 <= h < 2**63
+
+
+class TestSpawnRng:
+    def test_same_key_same_stream(self):
+        a = spawn_rng(7, "x").normal(size=5)
+        b = spawn_rng(7, "x").normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_different_keys_different_streams(self):
+        a = spawn_rng(7, "x").normal(size=5)
+        b = spawn_rng(7, "y").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = spawn_rng(7, "x").normal(size=5)
+        b = spawn_rng(8, "x").normal(size=5)
+        assert not np.allclose(a, b)
+
+
+class TestMeanAndCi95:
+    def test_single_sample_zero_ci(self):
+        mean, ci = mean_and_ci95([3.0])
+        assert mean == 3.0
+        assert ci == 0.0
+
+    def test_constant_samples_zero_ci(self):
+        mean, ci = mean_and_ci95([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert ci == 0.0
+
+    def test_known_values(self):
+        # For n=5 samples of std 1, the 95% t half-width is
+        # t(0.975, 4) * 1/sqrt(5) = 2.776 * 0.4472 = 1.2416...
+        samples = [0.0, 1.0, 2.0, 3.0, 4.0]  # std (ddof=1) = sqrt(2.5)
+        mean, ci = mean_and_ci95(samples)
+        assert mean == 2.0
+        expected = 2.7764451 * math.sqrt(2.5) / math.sqrt(5)
+        assert ci == pytest.approx(expected, rel=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_ci95([])
+
+    def test_mean_in_interval(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 1.0, size=50)
+        mean, ci = mean_and_ci95(samples)
+        assert mean - ci < 10.0 < mean + ci  # true mean covered (usually)
+
+
+class TestPercentError:
+    def test_exact_is_zero(self):
+        assert percent_error(5.0, 5.0) == 0.0
+
+    def test_symmetric_in_magnitude(self):
+        assert percent_error(11.0, 10.0) == pytest.approx(10.0)
+        assert percent_error(9.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_actual_raises(self):
+        with pytest.raises(ValueError):
+            percent_error(1.0, 0.0)

@@ -1,0 +1,243 @@
+"""Tests for the NPB / HPL / ASCI / synthetic workload models.
+
+Every model must produce a valid, deadlock-free program that actually
+runs on the simulator, with the communication structure its benchmark
+is known for.
+"""
+
+import math
+
+import pytest
+
+from repro.simulate import ClusterSimulator, Compute, SimulationConfig
+from repro.workloads import (
+    BT,
+    CG,
+    EP,
+    HPL,
+    IS,
+    LU,
+    MG,
+    SAMRAI,
+    SMG2000,
+    SP,
+    Aztec,
+    Sweep3D,
+    SyntheticBenchmark,
+    Towhee,
+)
+from tests.conftest import make_tiny_cluster
+
+ALL_MODELS = [
+    LU("S"),
+    BT("S"),
+    SP("S"),
+    MG("A"),
+    CG("A"),
+    IS("A"),
+    EP("A"),
+    HPL(500, nb=125),
+    Sweep3D(niter=2),
+    SMG2000(12, niter=2),
+    SAMRAI(niter=2),
+    Towhee(work=4.0),
+    Aztec(64, niter=3),
+]
+
+
+@pytest.fixture(scope="module")
+def sim():
+    cluster = make_tiny_cluster(4)
+    cluster.use_exact_latency_model()
+    return ClusterSimulator(cluster, SimulationConfig(jitter=0.0)), cluster
+
+
+class TestAllModelsRun:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_program_validates(self, model):
+        model.program(4).validate()
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_runs_to_completion(self, model, sim):
+        simulator, cluster = sim
+        ids = cluster.node_ids()
+        res = simulator.run(
+            model.program(4), {r: ids[r] for r in range(4)}, arch_affinity=model.arch_affinity
+        )
+        assert res.total_time > 0
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_single_process_supported_or_rejected(self, model):
+        if model.valid_nprocs(1):
+            model.program(1).validate()
+        else:
+            with pytest.raises(ValueError):
+                model.program(1)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_affinity_positive(self, model):
+        for arch in ("alpha-533", "pii-400", "sparc-500", "unknown"):
+            assert model.arch_affinity(arch) > 0
+
+
+class TestNpbSpecifics:
+    def test_class_validation(self):
+        with pytest.raises(ValueError, match="class"):
+            LU("Z")
+        with pytest.raises(ValueError, match="class"):
+            MG("S")  # MG has no S class here
+
+    def test_class_b_heavier_than_a(self):
+        a, b = LU("A"), LU("B")
+        assert b.program(4).total_work > a.program(4).total_work
+
+    def test_lu_work_splits_evenly(self):
+        prog = LU("A").program(8)
+        per_rank = [
+            sum(op.work for op in stream if isinstance(op, Compute)) for stream in prog.ops
+        ]
+        assert max(per_rank) == pytest.approx(min(per_rank))
+
+    def test_bt_requires_square_counts(self):
+        bt = BT("S")
+        assert bt.valid_nprocs(4) and bt.valid_nprocs(9) and bt.valid_nprocs(16)
+        assert not bt.valid_nprocs(8)
+        with pytest.raises(ValueError):
+            bt.program(8)
+
+    def test_sp_finer_messages_than_bt(self):
+        def sizes(model):
+            return [
+                getattr(op, "send_bytes", 0.0) + getattr(op, "size_bytes", 0.0)
+                for stream in model.program(4).ops
+                for op in stream
+                if not isinstance(op, Compute)
+            ]
+
+        assert max(sizes(SP("A"))) < max(sizes(BT("A")))
+
+    def test_ep_is_almost_pure_compute(self):
+        prog = EP("A").program(8)
+        comm_bytes = sum(
+            getattr(op, "send_bytes", 0.0) + getattr(op, "size_bytes", 0.0)
+            for stream in prog.ops
+            for op in stream
+            if not isinstance(op, Compute)
+        )
+        assert comm_bytes < 1e4  # only tiny allreduces
+
+    def test_is_dominated_by_alltoall(self):
+        prog = IS("A").program(4)
+        assert prog.total_messages >= 4 * 3 * 2 * 8  # 2 alltoalls x 8 iters
+
+    def test_names_follow_convention(self):
+        assert LU("A").name == "lu.A"
+        assert SMG2000(50).name == "smg2000.50"
+        assert HPL(10000).name == "hpl.10000"
+
+
+class TestHplSpecifics:
+    def test_flop_scaling(self):
+        small, large = HPL(1000, nb=250), HPL(2000, nb=250)
+        # 2/3 N^3 flops: doubling N -> ~8x work.
+        ratio = large.program(4).total_work / small.program(4).total_work
+        assert 6.0 < ratio < 10.0
+
+    def test_max_steps_caps_events(self):
+        few = HPL(10000, nb=10, max_steps=10)
+        prog = few.program(4)
+        assert len(prog.ops[0]) < 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HPL(0)
+        with pytest.raises(ValueError):
+            HPL(100, nb=0)
+        with pytest.raises(ValueError):
+            HPL(100, max_steps=0)
+
+
+class TestAsciSpecifics:
+    def test_smg_size_scaling(self):
+        t12 = SMG2000(12, niter=2).program(8).total_work
+        t60 = SMG2000(60, niter=2).program(8).total_work
+        assert t60 > 3 * t12
+
+    def test_smg_size_validation(self):
+        with pytest.raises(ValueError):
+            SMG2000(2)
+
+    def test_towhee_negligible_communication(self):
+        prog = Towhee().program(8)
+        assert prog.total_messages < 20
+
+    def test_samrai_all_to_all(self):
+        prog = SAMRAI(niter=1).program(5)
+        # Regrid all-to-all: everyone messages everyone.
+        assert prog.total_messages >= 5 * 4
+
+    def test_aztec_validation(self):
+        with pytest.raises(ValueError):
+            Aztec(4)
+
+
+class TestSynthetic:
+    def test_parameter_validation(self):
+        for bad in (
+            dict(comm_fraction=1.0),
+            dict(comm_fraction=-0.1),
+            dict(overlap=2.0),
+            dict(duration_s=0.0),
+            dict(steps=0),
+            dict(messages_per_step=0),
+            dict(pattern="mesh"),
+        ):
+            with pytest.raises(ValueError):
+                SyntheticBenchmark(**bad)
+
+    def test_duration_controls_work(self):
+        short = SyntheticBenchmark(duration_s=10.0).program(4).total_work
+        long = SyntheticBenchmark(duration_s=40.0).program(4).total_work
+        assert long == pytest.approx(4 * short, rel=0.01)
+
+    def test_comm_fraction_controls_volume(self):
+        def volume(cf):
+            prog = SyntheticBenchmark(comm_fraction=cf, overlap=1.0).program(4)
+            return sum(
+                getattr(op, "send_bytes", 0.0)
+                for stream in prog.ops
+                for op in stream
+            )
+
+        assert volume(0.5) > 3 * volume(0.1)
+
+    def test_overlap_zero_serializes(self, sim):
+        simulator, cluster = sim
+        ids = cluster.node_ids()
+        mapping = {r: ids[r] for r in range(4)}
+        seq = SyntheticBenchmark(comm_fraction=0.6, overlap=0.0, duration_s=2.0, steps=4)
+        ovl = SyntheticBenchmark(comm_fraction=0.6, overlap=1.0, duration_s=2.0, steps=4)
+        t_seq = simulator.run(seq.program(4), mapping).total_time
+        t_ovl = simulator.run(ovl.program(4), mapping).total_time
+        assert t_ovl < t_seq
+
+    @pytest.mark.parametrize("pattern", ["ring", "halo", "alltoall"])
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_patterns_deadlock_free(self, pattern, n, sim):
+        simulator, cluster = sim
+        app = SyntheticBenchmark(
+            comm_fraction=0.4, overlap=0.5, duration_s=1.0, steps=2, pattern=pattern
+        )
+        ids = (cluster.node_ids() * 2)[:n]
+        res = simulator.run(app.program(n), {r: ids[r] for r in range(n)})
+        assert res.total_time > 0
+
+    def test_single_process_runs(self, sim):
+        simulator, cluster = sim
+        app = SyntheticBenchmark(duration_s=1.0, steps=2)
+        res = simulator.run(app.program(1), {0: cluster.node_ids()[0]})
+        assert res.total_time > 0
+
+    def test_name_encodes_parameters(self):
+        app = SyntheticBenchmark(comm_fraction=0.25, overlap=0.75, duration_s=30.0)
+        assert "0.25" in app.name and "0.75" in app.name

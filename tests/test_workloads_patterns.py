@@ -1,0 +1,222 @@
+"""Tests for the communication pattern builders (collective decompositions)."""
+
+import math
+
+import pytest
+
+from repro.simulate.program import Compute, Exchange, Recv, Send, SendRecv
+from repro.workloads.patterns import ProgramBuilder, grid_dims
+
+
+class TestGridDims:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (1, 1)), (4, (2, 2)), (8, (4, 2)), (12, (4, 3)), (16, (4, 4)), (7, (7, 1)), (121, (11, 11))],
+    )
+    def test_2d(self, n, expected):
+        assert grid_dims(n, 2) == expected
+
+    @pytest.mark.parametrize("n", [8, 27, 64, 30])
+    def test_3d_product(self, n):
+        dims = grid_dims(n, 3)
+        assert math.prod(dims) == n
+        assert list(dims) == sorted(dims, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_dims(0)
+        with pytest.raises(ValueError):
+            grid_dims(4, 0)
+
+
+def count_messages(program):
+    """Point-to-point message count from the op streams."""
+    count = 0
+    for stream in program.ops:
+        for op in stream:
+            if isinstance(op, (Send, SendRecv)):
+                count += 1
+            elif isinstance(op, Exchange):
+                count += 1
+    return count
+
+
+def total_recv_bytes(program, rank):
+    total = 0.0
+    for op in program.ops[rank]:
+        if isinstance(op, Recv):
+            total += op.size_bytes
+        elif isinstance(op, Exchange):
+            total += op.recv_bytes
+        elif isinstance(op, SendRecv):
+            total += op.recv_bytes
+    return total
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 13])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_bcast_reaches_everyone(self, n, root):
+        if root >= n:
+            pytest.skip("root outside group")
+        b = ProgramBuilder("p", n)
+        b.bcast(range(n), root, 1000.0)
+        prog = b.build()  # validate() checks send/recv balance
+        # Every non-root rank receives the payload exactly once.
+        for r in range(n):
+            expected = 0.0 if r == root else 1000.0
+            assert total_recv_bytes(prog, r) == expected
+        # Binomial tree: exactly n-1 messages.
+        assert count_messages(prog) == n - 1
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 9])
+    def test_reduce_message_count(self, n):
+        b = ProgramBuilder("p", n)
+        b.reduce(range(n), 0, 500.0)
+        assert count_messages(b.build()) == n - 1
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 12])
+    def test_allreduce_everyone_participates(self, n):
+        b = ProgramBuilder("p", n)
+        b.allreduce(range(n), 100.0)
+        prog = b.build()
+        for r in range(n):
+            assert total_recv_bytes(prog, r) > 0
+
+    def test_allreduce_power_of_two_message_count(self):
+        # Pure recursive doubling: n/2 * log2(n) pairwise exchanges.
+        b = ProgramBuilder("p", 8)
+        b.allreduce(range(8), 100.0)
+        assert count_messages(b.build()) == 8 // 2 * 3 * 2  # Exchange per rank per stage
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_alltoall_counts(self, n):
+        b = ProgramBuilder("p", n)
+        b.alltoall(range(n), 10.0)
+        prog = b.build()
+        # Everyone sends to everyone else exactly once.
+        assert count_messages(prog) == n * (n - 1)
+        for r in range(n):
+            assert total_recv_bytes(prog, r) == 10.0 * (n - 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_gather_root_receives_everything(self, n):
+        b = ProgramBuilder("p", n)
+        b.gather(range(n), 0, 100.0)
+        prog = b.build()
+        assert total_recv_bytes(prog, 0) == 100.0 * (n - 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_scatter_leaves_receive_share(self, n):
+        b = ProgramBuilder("p", n)
+        b.scatter(range(n), 0, 100.0)
+        prog = b.build()
+        for r in range(1, n):
+            assert total_recv_bytes(prog, r) >= 100.0
+
+    def test_collective_on_subgroup(self):
+        b = ProgramBuilder("p", 6)
+        b.bcast([1, 3, 5], 3, 100.0)
+        prog = b.build()
+        assert prog.ops[0] == [] and prog.ops[2] == [] and prog.ops[4] == []
+
+    def test_root_not_in_group(self):
+        b = ProgramBuilder("p", 4)
+        with pytest.raises(ValueError):
+            b.bcast([0, 1], 3, 10.0)
+
+    def test_singleton_group_noop(self):
+        b = ProgramBuilder("p", 2)
+        b.bcast([0], 0, 10.0)
+        b.allreduce([1], 10.0)
+        b.alltoall([0], 10.0)
+        assert b.build().total_messages == 0
+
+    def test_barrier_is_tiny_allreduce(self):
+        b = ProgramBuilder("p", 4)
+        b.barrier(range(4))
+        prog = b.build()
+        assert count_messages(prog) > 0
+        assert all(
+            op.send_bytes == 4.0
+            for stream in prog.ops
+            for op in stream
+            if isinstance(op, Exchange)
+        )
+
+
+class TestShifts:
+    def test_ring_shift_everyone_sendrecvs(self):
+        b = ProgramBuilder("p", 5)
+        b.ring_shift(range(5), 64.0)
+        prog = b.build()
+        assert all(len(s) == 1 and isinstance(s[0], SendRecv) for s in prog.ops)
+
+    def test_nonperiodic_shift_edges(self):
+        b = ProgramBuilder("p", 4)
+        b.shift(range(4), 64.0, step=1)
+        prog = b.build()
+        assert isinstance(prog.ops[0][0], Send)  # head only sends
+        assert isinstance(prog.ops[3][0], Recv)  # tail only receives
+        assert isinstance(prog.ops[1][0], SendRecv)
+
+    def test_shift_negative_step(self):
+        b = ProgramBuilder("p", 3)
+        b.shift(range(3), 64.0, step=-1)
+        prog = b.build()
+        assert isinstance(prog.ops[0][0], Recv)
+        assert isinstance(prog.ops[2][0], Send)
+
+    def test_zero_size_noop(self):
+        b = ProgramBuilder("p", 4)
+        b.shift(range(4), 0.0)
+        b.ring_shift(range(4), 0.0)
+        assert b.build().total_messages == 0
+
+
+class TestHaloGrid:
+    def test_mismatched_dims_rejected(self):
+        b = ProgramBuilder("p", 6)
+        with pytest.raises(ValueError):
+            b.halo_exchange_grid((2, 2), [10.0, 10.0])
+        with pytest.raises(ValueError):
+            b.halo_exchange_grid((3, 2), [10.0])
+
+    def test_interior_rank_touches_all_neighbours(self):
+        b = ProgramBuilder("p", 9)
+        b.halo_exchange_grid((3, 3), [10.0, 20.0])
+        prog = b.build()
+        center = 4  # (1,1) in a 3x3 grid
+        peers = set()
+        for op in prog.ops[center]:
+            if isinstance(op, SendRecv):
+                peers.add(op.dst)
+                peers.add(op.src)
+        assert peers == {1, 3, 5, 7}
+
+    def test_1d_grid_dimension_skipped(self):
+        b = ProgramBuilder("p", 4)
+        b.halo_exchange_grid((4, 1), [10.0, 99.0])
+        prog = b.build()
+        # Only the length-4 axis communicates.
+        assert prog.total_messages == 2 * 3  # +shift and -shift, 3 pairs each
+
+
+class TestBuilderBasics:
+    def test_compute_all_callable(self):
+        b = ProgramBuilder("p", 3)
+        b.compute_all(lambda r: float(r))
+        prog = b.build()
+        assert prog.ops[0] == []  # zero work dropped
+        assert prog.ops[2][0] == Compute(2.0)
+
+    def test_rank_bounds(self):
+        b = ProgramBuilder("p", 2)
+        with pytest.raises(ValueError):
+            b.compute(5, 1.0)
+
+    def test_marker_all(self):
+        b = ProgramBuilder("p", 2)
+        b.marker_all("phase")
+        prog = b.build()
+        assert all(len(s) == 1 for s in prog.ops)

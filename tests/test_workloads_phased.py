@@ -1,0 +1,89 @@
+"""Tests for the phased application and the pairwise exchange pattern."""
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.simulate import Exchange
+from repro.workloads import PhasedApplication
+from repro.workloads.patterns import ProgramBuilder
+
+
+class TestPairwiseExchange:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_phase0_pairs_disjoint(self, n):
+        b = ProgramBuilder("p", n)
+        b.pairwise_exchange(range(n), 100.0, phase=0)
+        prog = b.build()
+        participants = [r for r in range(n) if prog.ops[r]]
+        assert len(participants) == (n // 2) * 2
+        # Each participant exchanges exactly once.
+        assert all(len(prog.ops[r]) == 1 for r in participants)
+
+    def test_phase1_includes_wrap_for_even_groups(self):
+        b = ProgramBuilder("p", 4)
+        b.pairwise_exchange(range(4), 100.0, phase=1)
+        prog = b.build()
+        peers_of_0 = [op.peer for op in prog.ops[0] if isinstance(op, Exchange)]
+        assert peers_of_0 == [3]  # the wrap pair (3, 0)
+
+    def test_phase1_odd_group_no_wrap(self):
+        b = ProgramBuilder("p", 5)
+        b.pairwise_exchange(range(5), 100.0, phase=1)
+        prog = b.build()
+        assert prog.ops[0] == []  # rank 0 idles in phase 1 of an odd group
+
+    def test_zero_size_noop(self):
+        b = ProgramBuilder("p", 4)
+        b.pairwise_exchange(range(4), 0.0)
+        assert b.build().total_messages == 0
+
+    def test_singleton_noop(self):
+        b = ProgramBuilder("p", 1)
+        b.pairwise_exchange([0], 10.0)
+        assert b.build().total_messages == 0
+
+
+class TestPhasedApplication:
+    @pytest.fixture(scope="class")
+    def service(self):
+        svc = CBES(single_switch("mini", 8))
+        svc.calibrate(seed=1)
+        return svc
+
+    def test_parameter_validation(self):
+        for bad in (
+            dict(setup_bytes=0),
+            dict(solve_work=-1),
+            dict(core_iters=0),
+            dict(core_work=0),
+            dict(core_bytes=0),
+        ):
+            with pytest.raises(ValueError):
+                PhasedApplication(**bad)
+
+    def test_three_segments_in_trace(self, service):
+        app = PhasedApplication()
+        mapping = TaskMapping(service.cluster.node_ids()[:4])
+        result = service.simulator.run(
+            app.program(4), mapping.as_dict(), seed=1, arch_affinity=app.arch_affinity
+        )
+        assert result.trace.segments == [0, 1, 2]
+
+    def test_segment_profiles_contrast(self, service):
+        app = PhasedApplication()
+        profile = service.profile_application(app, 4, seed=0, per_segment=True)
+        comp_shares = {
+            seg: prof.comp_comm_ratio[0] for seg, prof in profile.segments.items()
+        }
+        # Solve (segment 1) is the most compute-dominated; setup (0) the least.
+        assert comp_shares[1] > comp_shares[2] > comp_shares[0]
+
+    def test_runs_on_various_counts(self, service):
+        for n in (1, 2, 4, 6):
+            app = PhasedApplication(core_iters=2)
+            mapping = TaskMapping(service.cluster.node_ids()[:n])
+            result = service.simulator.run(
+                app.program(n), mapping.as_dict(), seed=2, arch_affinity=app.arch_affinity
+            )
+            assert result.total_time > 0

@@ -1,0 +1,37 @@
+"""Developer tool: cross-mapping prediction fidelity for LU.
+
+Checks, over random permutations/selections of a node pool, that
+predicted and measured times correlate strongly and that the absolute
+error stays in the paper's observed band (CS ~3 %, NCS-normalized ~9 %).
+"""
+import numpy as np
+from repro._util import spawn_rng
+from repro.cluster import orange_grove
+from repro.core import CBES, TaskMapping
+from repro.workloads import LU
+
+def main():
+    og = orange_grove(); svc = CBES(og); svc.calibrate(seed=1)
+    A = og.nodes_by_arch("alpha-533")
+    app = LU("A")
+    svc.profile_application(app, 8, mapping=TaskMapping(A), seed=0)
+    ev = svc.evaluator(app.name)
+    rng = spawn_rng(5, "fid")
+    preds, meas = [], []
+    prog = app.program(8)
+    for i in range(30):
+        idx = rng.permutation(8)
+        m = TaskMapping([A[int(k)] for k in idx])
+        preds.append(ev.predict(m).execution_time)
+        meas.append(svc.simulator.run(prog, m.as_dict(), seed=200+i,
+                    arch_affinity=app.arch_affinity).total_time)
+    preds, meas = np.array(preds), np.array(meas)
+    err = np.abs(preds-meas)/meas*100
+    print(f"measured: {meas.min():.1f}..{meas.max():.1f} spread={(meas.max()-meas.min())/meas.max()*100:.1f}%")
+    print(f"predicted: {preds.min():.1f}..{preds.max():.1f}")
+    print(f"abs err: mean={err.mean():.1f}% max={err.max():.1f}%")
+    print(f"pearson corr: {np.corrcoef(preds, meas)[0,1]:.3f}")
+    print(f"spearman-ish (rank corr): {np.corrcoef(np.argsort(np.argsort(preds)), np.argsort(np.argsort(meas)))[0,1]:.3f}")
+
+if __name__ == "__main__":
+    main()

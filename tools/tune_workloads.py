@@ -1,0 +1,78 @@
+"""Developer tool: measure workload magnitudes for constant tuning.
+
+Runs each paper workload on characteristic good/bad 8-node mappings of
+Orange Grove and prints measured times, comp/comm ratios and the
+good-vs-bad spread, to compare against the paper's tables while tuning
+model constants.  Not part of the library API.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro._util import spawn_rng
+from repro.cluster import orange_grove
+from repro.core import CBES, TaskMapping
+from repro.workloads import HPL, LU, SAMRAI, SMG2000, Aztec, Sweep3D, Towhee
+
+
+def sample_mappings(pool: list[str], nprocs: int, count: int, seed: int) -> list[TaskMapping]:
+    rng = spawn_rng(seed, "tune", tuple(pool), nprocs)
+    out = []
+    for _ in range(count):
+        idx = rng.choice(len(pool), size=nprocs, replace=False)
+        out.append(TaskMapping([pool[int(i)] for i in idx]))
+    return out
+
+
+def study(svc, app, pool, nprocs=8, samples=24, seed=7):
+    prof = svc.profile_application(app, nprocs, mapping=TaskMapping(pool[:nprocs]), seed=0)
+    comp, comm = prof.comp_comm_ratio
+    times = []
+    t0 = time.time()
+    for i, m in enumerate(sample_mappings(pool, nprocs, samples, seed)):
+        res = svc.simulator.run(
+            app.program(nprocs), m.as_dict(), seed=100 + i, arch_affinity=app.arch_affinity
+        )
+        times.append(res.total_time)
+    wall = time.time() - t0
+    best, worst = min(times), max(times)
+    print(
+        f"{app.name:14s} best={best:8.1f} worst={worst:8.1f} "
+        f"spread={(worst-best)/worst*100:5.1f}% comp/comm={comp:.2f}/{comm:.2f} "
+        f"({wall:.1f}s wall)"
+    )
+    return best, worst
+
+
+def main() -> None:
+    og = orange_grove()
+    svc = CBES(og)
+    svc.calibrate(seed=1)
+    A = og.nodes_by_arch("alpha-533")
+    I = og.nodes_by_arch("pii-400")
+    S = og.nodes_by_arch("sparc-500")
+
+    print("== latency spread ==")
+    print("spread@1KB:", og.latency_model.spread(1024))
+
+    print("== LU zones (table 1 / fig 6) ==")
+    study(svc, LU("A"), A)  # high zone: the 8 alphas
+    study(svc, LU("A"), A[:4] + I[:8])  # medium zone pool (A+I)
+    study(svc, LU("A"), A[:3] + I[:3] + S)  # low zone pool (A+I+S)
+
+    print("== table 3 apps on homogeneous pools ==")
+    study(svc, HPL(500, nb=125), I)
+    study(svc, HPL(5000), I)
+    study(svc, HPL(10000), I)
+    study(svc, Sweep3D(), I)
+    study(svc, SMG2000(12), I)
+    study(svc, SMG2000(50), I)
+    study(svc, SMG2000(60), I)
+    study(svc, SAMRAI(), I)
+    study(svc, Towhee(), I)
+    study(svc, Aztec(500), I)
+
+
+if __name__ == "__main__":
+    main()
