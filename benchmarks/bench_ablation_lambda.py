@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import percent_error, spawn_rng
-from repro.core import EvaluationOptions, TaskMapping
+from repro.core import EvaluationOptions
 from repro.experiments.report import ascii_table
 from repro.schedulers.base import random_mapping
 from repro.workloads import SyntheticBenchmark

@@ -1,0 +1,195 @@
+"""Benchmark: incremental delta-evaluation vs the reference predict().
+
+Measures evaluations/second of both mapping-evaluation paths on a
+synthetic heterogeneous workload (default: 64 nodes / 32 ranks, the
+scale named in docs/PERFORMANCE.md) while checking that they agree to
+within 1e-9 on every evaluated mapping.
+
+Run modes
+---------
+``python benchmarks/bench_incremental_eval.py``
+    Full benchmark: 64 nodes / 32 ranks; fails (exit 1) unless the
+    incremental path is at least 10x faster than the reference and the
+    two paths agree.
+
+``python benchmarks/bench_incremental_eval.py --quick``
+    CI smoke mode: small instance, short move chains; fails if the
+    incremental path is *slower* than the reference or disagrees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.cluster.latency import LatencyModel, PathComponents
+from repro.cluster.node import Architecture, Node
+from repro.core.evaluation import MappingEvaluator
+from repro.core.mapping import TaskMapping
+from repro.monitoring.snapshot import NodeState, SystemSnapshot
+from repro.profiling.profile import ApplicationProfile, MessageGroup, ProcessProfile
+from repro.schedulers.moves import MoveGenerator
+
+AGREEMENT_TOL = 1e-9
+
+ARCHS = [
+    Architecture("alpha-533", 1.30),
+    Architecture("pii-400", 1.15),
+    Architecture("sparc-500", 0.90),
+]
+
+
+def build_workload(nnodes: int, nprocs: int, seed: int = 7):
+    """A synthetic heterogeneous cluster + ring/halo application profile."""
+    rng = np.random.default_rng(seed)
+    node_ids = [f"b{i:02d}" for i in range(nnodes)]
+    nodes = {
+        nid: Node(nid, ARCHS[i % len(ARCHS)], ncpus=1 + i % 2)
+        for i, nid in enumerate(node_ids)
+    }
+    comps = {}
+    for src in node_ids:
+        for dst in node_ids:
+            if src != dst:
+                comps[(src, dst)] = PathComponents(
+                    alpha_src=25e-6 * rng.uniform(0.8, 1.2),
+                    alpha_dst=25e-6 * rng.uniform(0.8, 1.2),
+                    alpha_net=10e-6 * rng.uniform(0.5, 2.0),
+                    beta=8.0 / 100e6,
+                )
+    latency = LatencyModel(comps)
+    snapshot = SystemSnapshot(
+        states={
+            nid: NodeState(rng.uniform(0.0, 1.5), rng.uniform(0.0, 0.4))
+            for nid in node_ids
+        },
+        ncpus={nid: nodes[nid].ncpus for nid in node_ids},
+    )
+    procs = []
+    for rank in range(nprocs):
+        sends = (
+            MessageGroup((rank + 1) % nprocs, 8192.0, 50),
+            MessageGroup((rank + 7) % nprocs, 1024.0, 20),
+        )
+        recvs = (
+            MessageGroup((rank - 1) % nprocs, 8192.0, 50),
+            MessageGroup((rank - 7) % nprocs, 1024.0, 20),
+        )
+        procs.append(
+            ProcessProfile(
+                rank=rank,
+                own_time=rng.uniform(5.0, 15.0),
+                overhead_time=rng.uniform(0.1, 0.5),
+                blocked_time=rng.uniform(0.5, 2.0),
+                sends=sends,
+                recvs=recvs,
+                lam=rng.uniform(0.7, 1.1),
+            )
+        )
+    profile = ApplicationProfile(
+        app_name=f"synthetic-{nnodes}x{nprocs}",
+        nprocs=nprocs,
+        processes=tuple(procs),
+        profile_mapping={r: node_ids[r] for r in range(nprocs)},
+        profile_speeds={r: 1.0 for r in range(nprocs)},
+    )
+    evaluator = MappingEvaluator(profile, latency, nodes, snapshot)
+    return evaluator, node_ids
+
+
+def move_chain(start: TaskMapping, pool: list[str], length: int, seed: int) -> list[TaskMapping]:
+    """A deterministic random-walk of SA moves from *start*."""
+    rng = np.random.default_rng(seed)
+    moves = MoveGenerator(pool)
+    chain = []
+    current = start
+    for _ in range(length):
+        current = moves.neighbour(current, rng)
+        chain.append(current)
+    return chain
+
+
+def rate(fn, chain) -> float:
+    started = time.perf_counter()
+    for mapping in chain:
+        fn(mapping)
+    return len(chain) / (time.perf_counter() - started)
+
+
+def run(nnodes: int, nprocs: int, ref_moves: int, inc_moves: int, check_moves: int):
+    evaluator, node_ids = build_workload(nnodes, nprocs)
+    start = TaskMapping(node_ids[:nprocs])
+
+    # -- agreement: every mapping along one chain, both paths ----------
+    inc = evaluator.incremental()
+    inc.reset(start)
+    worst = 0.0
+    for mapping in move_chain(start, node_ids, check_moves, seed=3):
+        fast = inc.propose(mapping)
+        ref = evaluator.execution_time(mapping)
+        worst = max(worst, abs(fast - ref))
+        inc.commit()
+    agrees = worst <= AGREEMENT_TOL
+
+    # -- throughput ----------------------------------------------------
+    ref_chain = move_chain(start, node_ids, ref_moves, seed=1)
+    ref_rate = rate(evaluator.execution_time, ref_chain)
+
+    inc = evaluator.incremental()
+    inc.reset(start)
+
+    def inc_eval(mapping: TaskMapping) -> float:
+        value = inc.propose(mapping)
+        inc.commit()
+        return value
+
+    inc_chain = move_chain(start, node_ids, inc_moves, seed=1)
+    inc_rate = rate(inc_eval, inc_chain)
+    return ref_rate, inc_rate, worst, agrees
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small instance; fail only if slower or wrong",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        nnodes, nprocs = 16, 8
+        ref_moves, inc_moves, check_moves = 200, 2000, 150
+        target = 1.0
+    else:
+        nnodes, nprocs = 64, 32
+        ref_moves, inc_moves, check_moves = 600, 30000, 400
+        target = 10.0
+
+    ref_rate, inc_rate, worst, agrees = run(
+        nnodes, nprocs, ref_moves, inc_moves, check_moves
+    )
+    speedup = inc_rate / ref_rate
+    print(f"workload: {nnodes} nodes / {nprocs} ranks (SA move chain)")
+    print(f"reference predict():     {ref_rate:10.0f} evaluations/s")
+    print(f"incremental delta path:  {inc_rate:10.0f} evaluations/s")
+    print(f"speedup:                 {speedup:10.1f}x   (target >= {target:.0f}x)")
+    print(f"worst disagreement:      {worst:10.2e}   (tolerance {AGREEMENT_TOL:.0e})")
+
+    ok = True
+    if not agrees:
+        print("FAIL: incremental path disagrees with the reference")
+        ok = False
+    if speedup < target:
+        print(f"FAIL: speedup {speedup:.2f}x below target {target:.0f}x")
+        ok = False
+    if ok:
+        print("OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

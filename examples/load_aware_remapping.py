@@ -9,7 +9,7 @@ is named after.
 Run:  python examples/load_aware_remapping.py
 """
 
-from repro import CBES, TaskMapping, orange_grove
+from repro import CBES, orange_grove
 from repro.core import RemapAdvisor, RemapCostModel
 from repro.monitoring import LoadEvent, LoadGenerator
 from repro.schedulers import CbesScheduler

@@ -21,8 +21,10 @@ directly from the wiring.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro._util import check_fraction, check_positive
 from repro.cluster.network import NetworkFabric
@@ -177,6 +179,48 @@ class LatencyModel:
         return self.components(src, dst).adjusted(
             size_bytes, acpu_src=acpu_src, acpu_dst=acpu_dst, nic_src=nic_src, nic_dst=nic_dst
         )
+
+    def component_matrices(
+        self, hosts: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk component lookup: ``(alpha_src, alpha_dst, alpha_net, beta)``.
+
+        Each array is ``len(hosts) x len(hosts)``; entry ``[i, j]``
+        decomposes the ordered pair ``(hosts[i], hosts[j])``.  Diagonal
+        entries carry the shared-memory constants; pairs absent from the
+        model are NaN (callers must check before use).  This is the
+        vectorized form of the per-pair :meth:`components` query, built
+        once per evaluation context so ``theta`` sums reduce to array
+        gathers.
+        """
+        m = len(hosts)
+        a_src = np.full((m, m), np.nan)
+        a_dst = np.full((m, m), np.nan)
+        a_net = np.full((m, m), np.nan)
+        beta = np.full((m, m), np.nan)
+        for i, src in enumerate(hosts):
+            for j, dst in enumerate(hosts):
+                if i == j:
+                    pc = PathComponents(LOCAL_ALPHA_S, LOCAL_ALPHA_S, 0.0, LOCAL_BETA_S_PER_BYTE)
+                else:
+                    pc = self._components.get((src, dst))
+                    if pc is None:
+                        continue
+                a_src[i, j] = pc.alpha_src
+                a_dst[i, j] = pc.alpha_dst
+                a_net[i, j] = pc.alpha_net
+                beta[i, j] = pc.beta
+        return a_src, a_dst, a_net, beta
+
+    def no_load_matrix(self, hosts: Sequence[str], size_bytes: float) -> np.ndarray:
+        """Pairwise no-load latencies at one message size (bulk ``L_0``).
+
+        NaN marks pairs the model has no data for.
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        a_src, a_dst, a_net, beta = self.component_matrices(hosts)
+        return a_src + a_dst + a_net + size_bytes * beta
 
     def spread(self, size_bytes: float = 1024.0) -> tuple[float, float, float]:
         """Latency heterogeneity statistics at a given message size.

@@ -13,6 +13,11 @@ from repro.core.evaluation import (
     MappingPrediction,
     ProcessPrediction,
 )
+from repro.core.fast_eval import (
+    EvaluationContext,
+    FastEvalUnavailable,
+    IncrementalEvaluator,
+)
 from repro.core.mapping import TaskMapping
 from repro.core.remap import RemapAdvisor, RemapCostModel, RemapDecision
 from repro.core.runtime import RemapTrigger, RunningApplication, RuntimeScheduler
@@ -24,7 +29,10 @@ __all__ = [
     "ApplicationModel",
     "CbesError",
     "ClusterReservations",
+    "EvaluationContext",
     "EvaluationOptions",
+    "FastEvalUnavailable",
+    "IncrementalEvaluator",
     "InvalidMappingError",
     "MappingEvaluator",
     "MappingPrediction",

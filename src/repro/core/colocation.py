@@ -13,7 +13,7 @@ when the cost model says timesharing is still the fastest option).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import CbesError
 from repro.core.mapping import TaskMapping

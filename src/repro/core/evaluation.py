@@ -117,6 +117,9 @@ class MappingEvaluator:
         self._snapshot = snapshot
         self._options = options
         self._evaluations = 0
+        # Fast-path contexts cached by (options, snapshot fingerprint);
+        # see fast_context() for the invalidation rule.
+        self._fast_contexts: dict[tuple, object] = {}
 
     @property
     def profile(self) -> ApplicationProfile:
@@ -128,15 +131,77 @@ class MappingEvaluator:
 
     @property
     def evaluations(self) -> int:
-        """Number of predict() calls served (scheduler cost metric)."""
+        """Number of evaluations served (scheduler cost metric).
+
+        Counts both reference :meth:`predict` calls and fast-path
+        evaluations served by :meth:`incremental` evaluators.
+        """
         return self._evaluations
 
+    def record_evaluations(self, count: int = 1) -> None:
+        """Count *count* externally served evaluations (fast path)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._evaluations += count
+
     def with_snapshot(self, snapshot: SystemSnapshot) -> "MappingEvaluator":
-        """A copy bound to fresher monitoring data."""
-        return MappingEvaluator(self._profile, self._latency, self._nodes, snapshot, self._options)
+        """A copy bound to fresher monitoring data.
+
+        The ``evaluations`` counter carries over: the copy continues the
+        same scheduling request, so its cost metric must not reset on a
+        monitoring refresh.
+        """
+        clone = MappingEvaluator(self._profile, self._latency, self._nodes, snapshot, self._options)
+        clone._evaluations = self._evaluations
+        return clone
 
     def with_options(self, options: EvaluationOptions) -> "MappingEvaluator":
-        return MappingEvaluator(self._profile, self._latency, self._nodes, self._snapshot, options)
+        """A copy with different term toggles (counter carries over)."""
+        clone = MappingEvaluator(self._profile, self._latency, self._nodes, self._snapshot, options)
+        clone._evaluations = self._evaluations
+        return clone
+
+    # -- fast path ------------------------------------------------------
+    def fast_context(self, options: EvaluationOptions | None = None):
+        """The cached :class:`~repro.core.fast_eval.EvaluationContext`.
+
+        Contexts are cached per (options, snapshot fingerprint): a
+        snapshot whose content changed — even in place — produces a new
+        fingerprint and therefore a fresh context, so stale precomputed
+        ACPU/latency tables can never serve an evaluation.
+
+        Raises :class:`~repro.core.fast_eval.FastEvalUnavailable` when
+        the configuration cannot use the fast path.
+        """
+        from repro.core.fast_eval import EvaluationContext
+
+        opts = options if options is not None else self._options
+        key = (opts, self._snapshot.fingerprint())
+        context = self._fast_contexts.get(key)
+        if context is None:
+            context = EvaluationContext(
+                self._profile, self._latency, self._nodes, self._snapshot, opts
+            )
+            # Keep one snapshot generation at a time: drop contexts
+            # built from snapshots with a different fingerprint.
+            stale = [k for k in self._fast_contexts if k[1] != key[1]]
+            for k in stale:
+                del self._fast_contexts[k]
+            self._fast_contexts[key] = context
+        return context
+
+    def incremental(self, options: EvaluationOptions | None = None):
+        """A fresh :class:`~repro.core.fast_eval.IncrementalEvaluator`.
+
+        The returned evaluator serves ``propose``/``commit``/``reject``
+        delta evaluations against this evaluator's snapshot and counts
+        every served evaluation into :attr:`evaluations`.
+        """
+        from repro.core.fast_eval import IncrementalEvaluator
+
+        return IncrementalEvaluator(
+            self.fast_context(options), on_evaluate=self.record_evaluations
+        )
 
     # ------------------------------------------------------------------
     def predict(
@@ -170,12 +235,16 @@ class MappingEvaluator:
         def latency_fn(src: str, dst: str, size: float) -> float:
             if not opts.load_adjusted_latency:
                 return self._latency.no_load(src, dst, size)
+            # Membership check, not `or`: a fully loaded co-mapped node
+            # can legitimately have acpu == 0.0 entries (falsy), which
+            # must not be replaced by the colocation-unaware snapshot
+            # value.
             return self._latency.current(
                 src,
                 dst,
                 size,
-                acpu_src=acpu.get(src) or snapshot.acpu(src),
-                acpu_dst=acpu.get(dst) or snapshot.acpu(dst),
+                acpu_src=acpu[src] if src in acpu else snapshot.acpu(src),
+                acpu_dst=acpu[dst] if dst in acpu else snapshot.acpu(dst),
                 nic_src=snapshot.nic_load(src),
                 nic_dst=snapshot.nic_load(dst),
             )

@@ -1,0 +1,490 @@
+"""Fast-path mapping evaluation: precomputed context + delta evaluation.
+
+The schedulers of section 6 spend essentially all their time inside the
+mapping-evaluation formula ``S_M = max_i (R_i + C_i)`` (eqs. 4-8).  The
+reference implementation, :meth:`repro.core.evaluation.MappingEvaluator.
+predict`, rebuilds the ACPU table and re-walks every message group of
+every process on each call — correct, but wasteful inside a local-search
+loop where one move relocates only one or two ranks.
+
+This module provides the fast path:
+
+:class:`EvaluationContext`
+    Everything about ``(profile, latency model, nodes, snapshot,
+    options)`` that does **not** depend on the candidate mapping, frozen
+    once: per-node speeds, the ACPU-vs-colocation curves, the pairwise
+    latency components as dense arrays (the vectorized form of a memo
+    table keyed by ``(src, dst, size)``), and the profile's message
+    groups in CSR layout so full ``theta`` sums become vectorized dot
+    products.  A context is bound to one snapshot *fingerprint*
+    (:meth:`repro.monitoring.snapshot.SystemSnapshot.fingerprint`);
+    fresher monitoring data invalidates it.
+
+:class:`IncrementalEvaluator`
+    Mutable search state over a context: ``propose(candidate)`` returns
+    the candidate's ``S_M`` after recomputing only the moved ranks'
+    ``R_i``/``C_i``, the ``C_i`` of their communication peers, and the
+    ACPU-driven terms on the affected nodes; ``commit()`` / ``reject()``
+    resolve the proposal.  Affected ranks are recomputed *from scratch*
+    (never ``+= delta``), so the incremental state cannot drift from the
+    reference path no matter how long the move sequence runs.
+
+The reference ``predict()`` stays authoritative: ``tests/test_fast_eval
+.py`` holds the two paths to 1e-9 agreement over randomized move
+sequences, and ``benchmarks/bench_incremental_eval.py`` measures the
+speedup (target: >= 10x on a 64-node / 32-rank synthetic workload).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+
+import numpy as np
+
+from repro.cluster.latency import LatencyModel
+from repro.cluster.node import Node
+from repro.core.errors import CbesError, InvalidMappingError
+from repro.core.evaluation import EvaluationOptions
+from repro.core.mapping import TaskMapping
+from repro.monitoring.snapshot import SystemSnapshot
+from repro.profiling.profile import ApplicationProfile
+from repro.simulate.contention import cpu_share
+
+__all__ = ["FastEvalUnavailable", "EvaluationContext", "IncrementalEvaluator"]
+
+
+class FastEvalUnavailable(CbesError):
+    """The fast evaluation path cannot be built for this configuration.
+
+    Callers (the schedulers) catch this and fall back to the reference
+    :meth:`~repro.core.evaluation.MappingEvaluator.predict` path.
+    """
+
+
+class EvaluationContext:
+    """Mapping-independent precomputation for one evaluator configuration.
+
+    The context is valid only for the snapshot it was built from; use
+    :meth:`is_valid_for` (fingerprint comparison) before reusing a
+    cached instance after a monitoring refresh.
+    """
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        latency_model: LatencyModel,
+        nodes: MappingABC[str, Node],
+        snapshot: SystemSnapshot,
+        options: EvaluationOptions = EvaluationOptions(),
+    ) -> None:
+        if not nodes:
+            raise FastEvalUnavailable("evaluation context requires at least one node")
+        self.profile = profile
+        self.options = options
+        self.snapshot_fingerprint = snapshot.fingerprint()
+        self.node_ids: tuple[str, ...] = tuple(sorted(nodes))
+        self.index: dict[str, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        n = len(self.node_ids)
+        self.nnodes = n
+        nprocs = profile.nprocs
+        self.nprocs = nprocs
+
+        # -- per-node scalars (plain lists: fastest for the scalar path)
+        self.speed: list[float] = [
+            nodes[nid].speed_for(profile.arch_speed_ratios) for nid in self.node_ids
+        ]
+        self._ncpus: list[int] = [snapshot.ncpus.get(nid, 1) for nid in self.node_ids]
+        self._bg: list[float] = [snapshot.background_load(nid) for nid in self.node_ids]
+        nic: list[float] = [snapshot.nic_load(nid) for nid in self.node_ids]
+
+        # ACPU-vs-colocation curve per node: acpu_curve[j][k] is ACPU_j
+        # with k co-mapped processes (k = 0 column unused, kept at 1.0).
+        # With cpu_availability off, eq. 5's 1/ACPU factor and the
+        # endpoint stretching both use 1.0, exactly like the reference.
+        if options.cpu_availability:
+            self.acpu_curve: list[list[float]] = [
+                [1.0] + [cpu_share(self._ncpus[j], k, self._bg[j]) for k in range(1, nprocs + 1)]
+                for j in range(n)
+            ]
+        else:
+            self.acpu_curve = [[1.0] * (nprocs + 1) for _ in range(n)]
+
+        # -- pairwise latency components, dense over the node universe.
+        # This is the memoized latency table: one bulk gather replaces
+        # per-call PathComponents lookups, and ``L(src, dst, size)`` for
+        # any size is an affine read off these four arrays.
+        a_src, a_dst, a_net, beta = latency_model.component_matrices(self.node_ids)
+        self._a_src = a_src.reshape(-1)
+        self._a_dst = a_dst.reshape(-1)
+        self._a_net = a_net.reshape(-1)
+        self._beta = beta.reshape(-1)
+        self._missing_pairs = bool(np.isnan(self._a_net).any())
+        # Effective NIC stretch per ordered pair: 1 / (1 - min(max(nic_s,
+        # nic_d), 0.95)), precomputed so the load-adjusted latency is
+        # pure arithmetic.  Identity (all ones) under the no-load option.
+        nic_arr = np.asarray(nic, dtype=float)
+        if options.load_adjusted_latency:
+            nic_eff = np.minimum(np.maximum(nic_arr[:, None], nic_arr[None, :]), 0.95)
+            self._invnic = (1.0 / (1.0 - nic_eff)).reshape(-1)
+        else:
+            self._invnic = np.ones(n * n)
+        # Scalar-path copies: python-list indexing beats 0-d numpy reads.
+        self._comp_flat: list[tuple[float, float, float, float]] = list(
+            zip(self._a_src.tolist(), self._a_dst.tolist(), self._a_net.tolist(), self._beta.tolist())
+        )
+        self._invnic_flat: list[float] = self._invnic.tolist()
+
+        # -- per-rank profile data
+        self.work: list[float] = [
+            p.compute_time * profile.profile_speeds[p.rank] for p in profile.processes
+        ]
+        self.lam: list[float] = [
+            (p.lam if options.use_lambda else 1.0) for p in profile.processes
+        ]
+        # Message groups per rank, recvs first (reference summation
+        # order): tuples (is_send, peer, count, size).
+        self.groups: list[list[tuple[bool, int, float, float]]] = []
+        rev: list[set[int]] = [set() for _ in range(nprocs)]
+        for p in profile.processes:
+            gs: list[tuple[bool, int, float, float]] = []
+            for g in p.recvs:
+                gs.append((False, g.peer, float(g.count), g.size_bytes))
+            for g in p.sends:
+                gs.append((True, g.peer, float(g.count), g.size_bytes))
+            self.groups.append(gs)
+            for _, peer, _, _ in gs:
+                if not 0 <= peer < nprocs:
+                    raise FastEvalUnavailable(
+                        f"rank {p.rank} communicates with unknown peer {peer}"
+                    )
+                rev[peer].add(p.rank)
+        #: rev[p] — ranks that have p as a message-group peer (whose C_i
+        #: depends on where p sits / how loaded p's node is).
+        self.rev: list[tuple[int, ...]] = [tuple(sorted(s)) for s in rev]
+
+        # CSR arrays for the vectorized full evaluation.
+        flat = [(r, g) for r in range(nprocs) for g in self.groups[r]]
+        self._grp_rank = np.array([r for r, _ in flat], dtype=np.intp)
+        self._grp_peer = np.array([g[1] for _, g in flat], dtype=np.intp)
+        self._grp_send = np.array([g[0] for _, g in flat], dtype=bool)
+        self._grp_count = np.array([g[2] for _, g in flat], dtype=float)
+        self._grp_size = np.array([g[3] for _, g in flat], dtype=float)
+        self._speed_arr = np.asarray(self.speed, dtype=float)
+        self._work_arr = np.asarray(self.work, dtype=float)
+        self._lam_arr = np.asarray(self.lam, dtype=float)
+        self._ncpus_arr = np.asarray(self._ncpus, dtype=float)
+        self._bg_arr = np.asarray(self._bg, dtype=float)
+        #: Scalar no-load latency memo keyed by (src_idx, dst_idx, size).
+        self._noload_cache: dict[tuple[int, int, float], float] = {}
+
+    # -- queries --------------------------------------------------------
+    def is_valid_for(self, snapshot: SystemSnapshot) -> bool:
+        """Whether this context may serve evaluations under *snapshot*."""
+        return snapshot.fingerprint() == self.snapshot_fingerprint
+
+    def positions(self, mapping: TaskMapping) -> list[int]:
+        """Node indices per rank; raises like the reference on bad input."""
+        if mapping.nprocs != self.nprocs:
+            raise InvalidMappingError(
+                f"mapping places {mapping.nprocs} processes but profile has {self.nprocs}"
+            )
+        index = self.index
+        try:
+            return [index[nid] for nid in mapping.as_tuple()]
+        except KeyError as exc:
+            raise InvalidMappingError(f"mapping uses unknown node {exc.args[0]!r}") from None
+
+    def no_load(self, src: str, dst: str, size_bytes: float) -> float:
+        """Memoized scalar no-load latency lookup (table keyed by pair+size)."""
+        key = (self.index[src], self.index[dst], size_bytes)
+        value = self._noload_cache.get(key)
+        if value is None:
+            a_s, a_d, a_n, b = self._comp_flat[key[0] * self.nnodes + key[1]]
+            value = a_s + a_d + a_n + size_bytes * b
+            self._noload_cache[key] = value
+        return value
+
+    def _check_pairs(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Raise like LatencyModel.components() for uncalibrated pairs."""
+        bad = np.isnan(self._a_net[src * self.nnodes + dst])
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise KeyError(
+                f"no latency data for pair ({self.node_ids[int(src[i])]!r}, "
+                f"{self.node_ids[int(dst[i])]!r})"
+            )
+
+    # -- full (vectorized) evaluation -----------------------------------
+    def acpu_by_node(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorized ACPU per node for a procs-per-node count vector."""
+        if not self.options.cpu_availability:
+            return np.ones(self.nnodes)
+        demand = counts + self._bg_arr
+        # Unused nodes keep ACPU 1.0 (never read; keeps the delta path's
+        # node-touched bookkeeping consistent with the full path).
+        loaded = (counts > 0) & (demand > self._ncpus_arr)
+        with np.errstate(divide="ignore"):
+            return np.where(loaded, self._ncpus_arr / demand, 1.0)
+
+    def evaluate(self, mapping: TaskMapping) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full vectorized evaluation: (R, C, acpu-by-node) arrays.
+
+        ``theta`` is one gather + dot product over the CSR group arrays
+        instead of a per-group Python loop.
+        """
+        pos = np.asarray(self.positions(mapping), dtype=np.intp)
+        counts = np.bincount(pos, minlength=self.nnodes)
+        acpu = self.acpu_by_node(counts)
+        r_arr = self._work_arr / self._speed_arr[pos] / acpu[pos]
+        if not self.options.communication or self._grp_rank.size == 0:
+            return r_arr, np.zeros(self.nprocs), acpu
+        src = np.where(self._grp_send, pos[self._grp_rank], pos[self._grp_peer])
+        dst = np.where(self._grp_send, pos[self._grp_peer], pos[self._grp_rank])
+        if self._missing_pairs:
+            self._check_pairs(src, dst)
+        pair = src * self.nnodes + dst
+        if self.options.load_adjusted_latency:
+            lat = (
+                self._a_src[pair] / acpu[src]
+                + self._a_dst[pair] / acpu[dst]
+                + self._a_net[pair]
+                + self._grp_size * self._beta[pair] * self._invnic[pair]
+            )
+        else:
+            # No-load L_0: endpoint alphas are not stretched by ACPU and
+            # the serialization term ignores NIC utilisation.
+            lat = (
+                self._a_src[pair]
+                + self._a_dst[pair]
+                + self._a_net[pair]
+                + self._grp_size * self._beta[pair]
+            )
+        theta = np.bincount(self._grp_rank, weights=self._grp_count * lat, minlength=self.nprocs)
+        return r_arr, theta * self._lam_arr, acpu
+
+    def execution_time(self, mapping: TaskMapping) -> float:
+        """``S_M`` via the vectorized full path (stateless)."""
+        r_arr, c_arr, _ = self.evaluate(mapping)
+        return float(np.max(r_arr + c_arr))
+
+    # -- scalar kernels for the delta path ------------------------------
+    def comm_time(self, rank: int, pos: list[int], acpu: list[float]) -> float:
+        """``C_i`` of one rank under (pos, acpu) — tuned scalar loop."""
+        groups = self.groups[rank]
+        if not groups:
+            return 0.0
+        n = self.nnodes
+        comp = self._comp_flat
+        invnic = self._invnic_flat
+        me = pos[rank]
+        total = 0.0
+        if self._missing_pairs:
+            for is_send, peer, _, _ in groups:
+                s, d = (me, pos[peer]) if is_send else (pos[peer], me)
+                if self._a_net[s * n + d] != self._a_net[s * n + d]:  # NaN check
+                    raise KeyError(
+                        f"no latency data for pair ({self.node_ids[s]!r}, {self.node_ids[d]!r})"
+                    )
+        if self.options.load_adjusted_latency:
+            for is_send, peer, count, size in groups:
+                if is_send:
+                    s, d = me, pos[peer]
+                else:
+                    s, d = pos[peer], me
+                k = s * n + d
+                a_s, a_d, a_n, b = comp[k]
+                total += count * (a_s / acpu[s] + a_d / acpu[d] + a_n + size * b * invnic[k])
+        else:
+            for is_send, peer, count, size in groups:
+                if is_send:
+                    s, d = me, pos[peer]
+                else:
+                    s, d = pos[peer], me
+                a_s, a_d, a_n, b = comp[s * n + d]
+                total += count * (a_s + a_d + a_n + size * b)
+        return total * self.lam[rank]
+
+    def comp_time(self, rank: int, node: int, acpu: list[float]) -> float:
+        """``R_i`` of one rank placed on *node* — scalar kernel."""
+        return self.work[rank] / self.speed[node] / acpu[node]
+
+
+class IncrementalEvaluator:
+    """Delta-evaluation of mapping moves over a frozen context.
+
+    Protocol (advertised to :func:`repro.schedulers.annealing.anneal`):
+
+    * ``reset(mapping) -> S_M`` — rebind the search state to *mapping*;
+    * ``propose(candidate) -> S_M`` — cost of *candidate*, recomputing
+      only ranks affected by the diff against the current mapping;
+    * ``commit()`` / ``reject()`` — resolve the outstanding proposal
+      (a new ``propose`` implicitly rejects the previous one);
+    * ``evaluator(mapping) -> S_M`` — stateless full evaluation (used
+      by population schedulers), via ``__call__``.
+
+    ``on_evaluate`` is called once per served evaluation so the owning
+    :class:`~repro.core.evaluation.MappingEvaluator` can keep its
+    scheduler cost metric (``evaluations``) accurate.
+    """
+
+    def __init__(
+        self,
+        context: EvaluationContext,
+        mapping: TaskMapping | None = None,
+        on_evaluate=None,
+    ) -> None:
+        self._ctx = context
+        self._on_evaluate = on_evaluate
+        self._pending: tuple | None = None
+        self._pos: list[int] = []
+        self._counts: list[int] = []
+        self._acpu: list[float] = []
+        self._r: list[float] = []
+        self._c: list[float] = []
+        self._totals: list[float] = []
+        self._best = float("nan")
+        self._arg = -1
+        if mapping is not None:
+            self.reset(mapping)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def context(self) -> EvaluationContext:
+        return self._ctx
+
+    @property
+    def execution_time(self) -> float:
+        """``S_M`` of the current (committed) mapping."""
+        return self._best
+
+    def _note(self) -> None:
+        if self._on_evaluate is not None:
+            self._on_evaluate()
+
+    def reset(self, mapping: TaskMapping) -> float:
+        """Bind the search state to *mapping* via one full evaluation."""
+        ctx = self._ctx
+        r_arr, c_arr, acpu = ctx.evaluate(mapping)
+        self._pos = ctx.positions(mapping)
+        counts = [0] * ctx.nnodes
+        for node in self._pos:
+            counts[node] += 1
+        self._counts = counts
+        self._acpu = acpu.tolist()
+        self._r = r_arr.tolist()
+        self._c = c_arr.tolist()
+        totals = (r_arr + c_arr).tolist()
+        self._totals = totals
+        self._arg = max(range(len(totals)), key=totals.__getitem__)
+        self._best = totals[self._arg]
+        self._pending = None
+        self._note()
+        return self._best
+
+    def __call__(self, mapping: TaskMapping) -> float:
+        """Stateless full evaluation of an arbitrary mapping."""
+        self._note()
+        return self._ctx.execution_time(mapping)
+
+    # -- the propose / commit / reject cycle ----------------------------
+    def propose(self, candidate: TaskMapping) -> float:
+        """``S_M`` of *candidate*, recomputing only the affected ranks."""
+        if not self._pos:
+            return self.reset(candidate)
+        ctx = self._ctx
+        self._note()
+        new_pos = ctx.positions(candidate)
+        pos = self._pos
+        nprocs = ctx.nprocs
+        moved = [r for r in range(nprocs) if new_pos[r] != pos[r]]
+        if not moved:
+            self._pending = (new_pos, self._counts, self._acpu, {}, self._best, self._arg)
+            return self._best
+
+        # Node occupancy and ACPU updates, restricted to touched nodes.
+        counts = self._counts.copy()
+        touched_nodes = set()
+        for r in moved:
+            counts[pos[r]] -= 1
+            counts[new_pos[r]] += 1
+            touched_nodes.add(pos[r])
+            touched_nodes.add(new_pos[r])
+        acpu = self._acpu
+        curve = ctx.acpu_curve
+        acpu_changed: list[int] = []
+        new_acpu_vals: dict[int, float] = {}
+        for node in touched_nodes:
+            k = counts[node]
+            value = curve[node][k] if k > 0 else 1.0
+            if value != acpu[node]:
+                acpu_changed.append(node)
+                new_acpu_vals[node] = value
+        if acpu_changed:
+            acpu = acpu.copy()
+            for node, value in new_acpu_vals.items():
+                acpu[node] = value
+
+        # Affected ranks: moved ranks change R and C; ranks on ACPU-
+        # changed nodes change R (eq. 5) and C (endpoint stretching);
+        # communication peers of either group change C only.
+        moved_set = set(moved)
+        aff_r = set(moved)
+        base = set(moved)
+        if acpu_changed:
+            changed_nodes = set(acpu_changed)
+            for r in range(nprocs):
+                if new_pos[r] in changed_nodes:
+                    aff_r.add(r)
+                    base.add(r)
+        aff_c: set[int] = set()
+        if ctx.options.communication:
+            # Under no-load latencies, ACPU changes cannot affect C_i —
+            # only actual relocations do.
+            base_c = base if ctx.options.load_adjusted_latency else moved_set
+            aff_c = set(base_c)
+            rev = ctx.rev
+            for p in base_c:
+                aff_c.update(rev[p])
+
+        changed: dict[int, tuple[float, float, float]] = {}
+        r_list, c_list = self._r, self._c
+        for r in aff_r | aff_c:
+            r_i = ctx.comp_time(r, new_pos[r], acpu) if r in aff_r else r_list[r]
+            c_i = ctx.comm_time(r, new_pos, acpu) if r in aff_c else c_list[r]
+            changed[r] = (r_i, c_i, r_i + c_i)
+
+        # Running max: the old argmax stands unless it was recomputed.
+        totals = self._totals
+        if self._arg in changed:
+            arg = max(
+                range(nprocs),
+                key=lambda r: changed[r][2] if r in changed else totals[r],
+            )
+            best = changed[arg][2] if arg in changed else totals[arg]
+        else:
+            best, arg = self._best, self._arg
+            for r, (_, _, total) in changed.items():
+                if total > best:
+                    best, arg = total, r
+        self._pending = (new_pos, counts, acpu, changed, best, arg)
+        return best
+
+    def commit(self) -> None:
+        """Accept the outstanding proposal."""
+        if self._pending is None:
+            raise RuntimeError("commit() without a pending propose()")
+        new_pos, counts, acpu, changed, best, arg = self._pending
+        self._pos = new_pos
+        self._counts = counts
+        self._acpu = acpu
+        for r, (r_i, c_i, total) in changed.items():
+            self._r[r] = r_i
+            self._c[r] = c_i
+            self._totals[r] = total
+        self._best = best
+        self._arg = arg
+        self._pending = None
+
+    def reject(self) -> None:
+        """Discard the outstanding proposal (no-op when none pending)."""
+        self._pending = None

@@ -9,7 +9,7 @@ external clients such as the schedulers.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 from typing import Protocol, runtime_checkable
 
 from repro.cluster.cluster import Cluster

@@ -21,7 +21,7 @@ from repro.core.mapping import TaskMapping
 from repro.core.service import ApplicationModel
 from repro.experiments.harness import ExperimentContext, Measurement
 from repro.schedulers.annealing import AnnealingSchedule
-from repro.schedulers.base import MappingConstraint, Scheduler, random_mapping
+from repro.schedulers.base import MappingConstraint, random_mapping
 from repro.schedulers.cs import CbesScheduler
 from repro.schedulers.ncs import NoCommScheduler
 

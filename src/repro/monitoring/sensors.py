@@ -8,7 +8,6 @@ realistic approximation of reality rather than the ground truth.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro._util import spawn_rng
 from repro.cluster.node import Node

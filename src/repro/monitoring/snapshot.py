@@ -10,6 +10,7 @@ what-if studies.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
@@ -86,6 +87,39 @@ class SystemSnapshot:
         """
         n = self.ncpus.get(node_id, 1)
         return cpu_share(n, mapped_procs, self.background_load(node_id))
+
+    def fingerprint(self) -> str:
+        """Stable content digest of this snapshot.
+
+        The fast evaluation path (:mod:`repro.core.fast_eval`) freezes a
+        snapshot into an :class:`~repro.core.fast_eval.EvaluationContext`
+        and keys the cached context on this digest: any change to a
+        node's believed load, NIC utilisation, or CPU count yields a new
+        fingerprint, which invalidates every context built from the old
+        one.  The digest is order-independent over nodes.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr(float(self.timestamp)).encode())
+        for nid in sorted(self.states):
+            state = self.states[nid]
+            h.update(f"|{nid}:{state.background_load!r}:{state.nic_load!r}".encode())
+        for nid in sorted(self.ncpus):
+            h.update(f"|{nid}={self.ncpus[nid]}".encode())
+        return h.hexdigest()
+
+    def freeze(self) -> "SystemSnapshot":
+        """A defensive copy with plain-dict state, safe to cache against.
+
+        Snapshots are nominally immutable, but their ``states``/``ncpus``
+        mappings may alias caller-owned dicts; ``freeze()`` severs that
+        aliasing so a cached evaluation context cannot be invalidated
+        silently (i.e. without the fingerprint changing).
+        """
+        return SystemSnapshot(
+            timestamp=self.timestamp,
+            states={nid: self.states[nid] for nid in self.states},
+            ncpus=dict(self.ncpus),
+        )
 
     def with_load(self, node_id: str, background_load: float, nic_load: float | None = None) -> "SystemSnapshot":
         """A copy with one node's state replaced (what-if analysis)."""

@@ -8,6 +8,12 @@ schedule drives acceptance from near-random walk to strict descent.
 ``direction="maximize"`` searches for the *worst* mapping instead — that
 is how the worst-vs-best scenario experiments (tables 1 and 3) obtain
 their worst cases.
+
+The energy may be a plain callable (one full evaluation per neighbour)
+or an object advertising the incremental protocol of
+:class:`repro.core.fast_eval.IncrementalEvaluator` — ``reset(mapping)``,
+``propose(candidate)``, ``commit()``, ``reject()`` — in which case each
+neighbour costs only a delta evaluation of the ranks the move touched.
 """
 
 from __future__ import annotations
@@ -21,7 +27,15 @@ import numpy as np
 from repro.core.mapping import TaskMapping
 from repro.schedulers.moves import MoveGenerator
 
-__all__ = ["AnnealingSchedule", "anneal"]
+__all__ = ["AnnealingSchedule", "anneal", "supports_incremental"]
+
+
+def supports_incremental(energy: object) -> bool:
+    """Whether *energy* advertises the propose/commit/reject protocol."""
+    return all(
+        callable(getattr(energy, attr, None))
+        for attr in ("reset", "propose", "commit", "reject")
+    )
 
 
 @dataclass(frozen=True)
@@ -71,12 +85,13 @@ def anneal(
     if direction not in ("minimize", "maximize"):
         raise ValueError("direction must be 'minimize' or 'maximize'")
     sign = 1.0 if direction == "minimize" else -1.0
+    incremental = supports_incremental(energy)
 
     def cost(m: TaskMapping) -> float:
         return sign * energy(m)
 
     current = start
-    current_cost = cost(current)
+    current_cost = sign * energy.reset(current) if incremental else cost(current)
     best, best_cost = current, current_cost
 
     # Auto-scale T0 from an initial sample of move deltas so acceptance
@@ -87,8 +102,14 @@ def anneal(
         cand = moves.neighbour(probe, rng)
         if feasible is not None and not feasible(cand):
             continue
-        deltas.append(abs(cost(cand) - current_cost))
+        if incremental:
+            deltas.append(abs(sign * energy.propose(cand) - current_cost))
+            energy.commit()  # walk the probe chain
+        else:
+            deltas.append(abs(cost(cand) - current_cost))
         probe = cand
+    if incremental:
+        energy.reset(start)  # rewind the probe walk
     mean_delta = float(np.mean(deltas)) if deltas else abs(current_cost) * 0.01
     if mean_delta == 0.0:
         mean_delta = max(abs(current_cost), 1e-9) * 1e-3
@@ -102,13 +123,19 @@ def anneal(
             candidate = moves.neighbour(current, rng)
             if feasible is not None and not feasible(candidate):
                 continue
-            candidate_cost = cost(candidate)
+            candidate_cost = (
+                sign * energy.propose(candidate) if incremental else cost(candidate)
+            )
             delta = candidate_cost - current_cost
             if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+                if incremental:
+                    energy.commit()
                 current, current_cost = candidate, candidate_cost
                 if current_cost < best_cost:
                     best, best_cost = current, current_cost
                     improved = True
+            elif incremental:
+                energy.reject()
         history.append(sign * best_cost)
         temperature *= schedule.cooling
         stale = 0 if improved else stale + 1

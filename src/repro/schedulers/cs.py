@@ -4,6 +4,7 @@ cost function (computation + communication terms)."""
 from __future__ import annotations
 
 from repro.core.evaluation import EvaluationOptions, MappingEvaluator
+from repro.core.fast_eval import FastEvalUnavailable
 from repro.core.mapping import TaskMapping
 from repro.schedulers.annealing import AnnealingSchedule, anneal
 from repro.schedulers.base import MappingConstraint, Scheduler, make_rng
@@ -49,13 +50,25 @@ class CbesScheduler(Scheduler):
     #: must stay random, as the paper describes ("NCS behaves like RS
     #: when selecting from a set of nodes of equivalent speeds").
     use_greedy_start: bool = True
+    #: Anneal through the incremental delta-evaluation path when the
+    #: evaluator supports it; the reference predict() remains the
+    #: fallback (and always produces the reported prediction).
+    use_fast_path: bool = True
 
     def _run(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
         rng = make_rng(seed, self.name, tuple(pool), evaluator.profile.app_name)
         moves = MoveGenerator(pool, swap_probability=self._swap_p)
 
-        def energy(mapping: TaskMapping) -> float:
-            return evaluator.execution_time(mapping, options=self.energy_options)
+        energy = None
+        if self.use_fast_path:
+            try:
+                energy = evaluator.incremental(self.energy_options)
+            except FastEvalUnavailable:
+                energy = None
+        if energy is None:
+
+            def energy(mapping: TaskMapping) -> float:
+                return evaluator.execution_time(mapping, options=self.energy_options)
 
         sign = 1.0 if self._direction == "minimize" else -1.0
         best = None

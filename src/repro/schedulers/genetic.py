@@ -15,8 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.evaluation import MappingEvaluator
+from repro.core.fast_eval import FastEvalUnavailable
 from repro.core.mapping import TaskMapping
-from repro.schedulers.base import MappingConstraint, Scheduler, make_rng, random_mapping
+from repro.schedulers.base import MappingConstraint, Scheduler, make_rng
 from repro.schedulers.moves import MoveGenerator
 
 __all__ = ["GeneticParams", "GeneticScheduler"]
@@ -70,8 +71,16 @@ class GeneticScheduler(Scheduler):
         moves = MoveGenerator(pool)
         nprocs = evaluator.profile.nprocs
 
+        # Population fitness uses the vectorized full evaluation of the
+        # fast path (GA children have no single base mapping to delta
+        # against); the reference predict() is the fallback.
+        try:
+            fit = evaluator.incremental()
+        except FastEvalUnavailable:
+            fit = evaluator.execution_time
+
         population = [self._initial_mapping(evaluator, pool, rng) for _ in range(p.population)]
-        fitness = [evaluator.execution_time(m) for m in population]
+        fitness = [fit(m) for m in population]
         history = [min(fitness)]
         stale = 0
         for _ in range(p.generations):
@@ -91,7 +100,7 @@ class GeneticScheduler(Scheduler):
                 else:
                     next_pop.append(parent_a)
             population = next_pop
-            fitness = [evaluator.execution_time(m) for m in population]
+            fitness = [fit(m) for m in population]
             best_now = min(fitness)
             if best_now < history[-1] - 1e-12:
                 stale = 0

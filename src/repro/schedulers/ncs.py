@@ -25,6 +25,10 @@ class NoCommScheduler(CbesScheduler):
     energy_options = EvaluationOptions(communication=False)
     #: NCS must pick randomly among equal-speed nodes (paper section 6).
     use_greedy_start = False
+    #: The incremental path applies here too — with the communication
+    #: term dropped, a move's delta evaluation touches only the moved
+    #: ranks (no peer set), so NCS benefits even more than CS.
+    use_fast_path = True
 
     def __init__(
         self,

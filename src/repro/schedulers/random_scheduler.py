@@ -8,7 +8,7 @@ point of reference for the maximum feasible overall speedup.
 from __future__ import annotations
 
 from repro.core.evaluation import MappingEvaluator
-from repro.schedulers.base import MappingConstraint, Scheduler, make_rng, random_mapping
+from repro.schedulers.base import MappingConstraint, Scheduler, make_rng
 
 __all__ = ["RandomScheduler"]
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main, make_app
-from repro.workloads import HPL, LU, SMG2000, Aztec, Towhee
+from repro.workloads import HPL, LU, Aztec, Towhee
 
 
 class TestMakeApp:

@@ -1,0 +1,309 @@
+"""Fast evaluation path: agreement with the reference, caching, wiring.
+
+The central property: over randomized move sequences (swaps, replaces,
+and colocating assignments), :class:`IncrementalEvaluator` must agree
+with the reference ``MappingEvaluator.predict()`` to within 1e-9 — for
+the full formula and for every ablation option combination.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cluster import single_switch
+from repro.cluster.latency import LOCAL_ALPHA_S, LatencyModel
+from repro.core import CBES, EvaluationOptions, TaskMapping
+from repro.core.fast_eval import EvaluationContext
+from repro.monitoring.snapshot import NodeState, SystemSnapshot
+from repro.schedulers.annealing import AnnealingSchedule, anneal, supports_incremental
+from repro.schedulers.cs import CbesScheduler
+from repro.schedulers.moves import MoveGenerator
+from repro.workloads import LU
+
+TOL = 1e-9
+
+#: The ablation combinations named by the NCS/ablation studies.
+OPTION_COMBOS = [
+    EvaluationOptions(),
+    EvaluationOptions(communication=False),
+    EvaluationOptions(use_lambda=False),
+    EvaluationOptions(load_adjusted_latency=False),
+    EvaluationOptions(cpu_availability=False),
+    EvaluationOptions(use_lambda=False, load_adjusted_latency=False),
+    EvaluationOptions(communication=False, cpu_availability=False),
+]
+
+
+@pytest.fixture(scope="module")
+def service() -> CBES:
+    cluster = single_switch("fastpath", 8)
+    service = CBES(cluster)
+    service.calibrate(seed=2)
+    app = LU("A")
+    service.profile_application(app, 4, seed=0)
+    # Heterogeneous load (after calibration, which requires an unloaded
+    # system) so ACPU, NIC stretch, and colocation all matter.
+    for i, nid in enumerate(cluster.node_ids()):
+        cluster.node(nid).background_load = 0.4 * (i % 3)
+        cluster.node(nid).nic_load = 0.1 * (i % 4)
+    return service
+
+
+@pytest.fixture(scope="module")
+def app_name(service) -> str:
+    return LU("A").name
+
+
+def random_move(mapping: TaskMapping, pool: list[str], rng: np.random.Generator) -> TaskMapping:
+    """Swap, replace, or colocate — richer than the scheduler move set."""
+    kind = rng.random()
+    nprocs = mapping.nprocs
+    if kind < 0.4 and nprocs >= 2:
+        a, b = rng.choice(nprocs, size=2, replace=False)
+        return mapping.with_swap(int(a), int(b))
+    rank = int(rng.integers(nprocs))
+    if kind < 0.8:
+        free = [n for n in pool if n not in mapping.nodes_used()]
+        if free:
+            return mapping.with_assignment(rank, free[int(rng.integers(len(free)))])
+    # Colocating assignment: any pool node, possibly already occupied.
+    return mapping.with_assignment(rank, pool[int(rng.integers(len(pool)))])
+
+
+class TestAgreementProperty:
+    @pytest.mark.parametrize("options", OPTION_COMBOS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_incremental_matches_reference_over_move_sequences(
+        self, service, app_name, options, seed
+    ):
+        evaluator = service.evaluator(app_name, options=options)
+        pool = service.cluster.node_ids()
+        rng = np.random.default_rng(seed)
+        inc = evaluator.incremental()
+        mapping = TaskMapping(pool[:4])
+        assert inc.reset(mapping) == pytest.approx(
+            evaluator.execution_time(mapping), abs=TOL
+        )
+        for step in range(120):
+            candidate = random_move(mapping, pool, rng)
+            fast = inc.propose(candidate)
+            ref = evaluator.execution_time(candidate)
+            assert fast == pytest.approx(ref, abs=TOL), f"diverged at step {step}"
+            if rng.random() < 0.6:
+                inc.commit()
+                mapping = candidate
+            else:
+                inc.reject()
+        # Long-run state integrity: committed state equals a fresh eval.
+        assert inc.execution_time == pytest.approx(
+            evaluator.execution_time(mapping), abs=TOL
+        )
+
+    def test_stateless_call_matches_reference(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        pool = service.cluster.node_ids()
+        inc = evaluator.incremental()
+        for mapping in (
+            TaskMapping(pool[:4]),
+            TaskMapping([pool[0], pool[0], pool[0], pool[1]]),  # heavy colocation
+        ):
+            assert inc(mapping) == pytest.approx(evaluator.execution_time(mapping), abs=TOL)
+
+    def test_full_vectorized_breakdown_matches_reference(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        pool = service.cluster.node_ids()
+        mapping = TaskMapping([pool[0], pool[2], pool[2], pool[5]])
+        context = evaluator.fast_context()
+        r_arr, c_arr, _ = context.evaluate(mapping)
+        prediction = evaluator.predict(mapping)
+        for proc in prediction.processes:
+            assert r_arr[proc.rank] == pytest.approx(proc.computation, abs=TOL)
+            assert c_arr[proc.rank] == pytest.approx(proc.communication, abs=TOL)
+
+
+class TestProposeCommitReject:
+    def test_reject_preserves_state(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        pool = service.cluster.node_ids()
+        inc = evaluator.incremental()
+        base = TaskMapping(pool[:4])
+        s0 = inc.reset(base)
+        inc.propose(base.with_swap(0, 3))
+        inc.reject()
+        assert inc.execution_time == s0
+        # A later propose against the same base still agrees.
+        candidate = base.with_assignment(1, pool[6])
+        assert inc.propose(candidate) == pytest.approx(
+            evaluator.execution_time(candidate), abs=TOL
+        )
+
+    def test_commit_without_propose_raises(self, service, app_name):
+        inc = service.evaluator(app_name).incremental()
+        inc.reset(TaskMapping(service.cluster.node_ids()[:4]))
+        inc.propose(TaskMapping(service.cluster.node_ids()[:4]).with_swap(0, 1))
+        inc.commit()
+        with pytest.raises(RuntimeError):
+            inc.commit()
+
+    def test_noop_propose_returns_current(self, service, app_name):
+        inc = service.evaluator(app_name).incremental()
+        base = TaskMapping(service.cluster.node_ids()[:4])
+        s0 = inc.reset(base)
+        assert inc.propose(TaskMapping(base.as_tuple())) == s0
+        inc.commit()
+        assert inc.execution_time == s0
+
+
+class TestWiring:
+    def test_incremental_counts_into_evaluator_metric(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        start = evaluator.evaluations
+        inc = evaluator.incremental()
+        base = TaskMapping(service.cluster.node_ids()[:4])
+        inc.reset(base)
+        inc.propose(base.with_swap(0, 1))
+        inc.commit()
+        inc(base)
+        assert evaluator.evaluations == start + 3
+
+    def test_with_snapshot_carries_evaluation_counter(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        base = TaskMapping(service.cluster.node_ids()[:4])
+        evaluator.predict(base)
+        count = evaluator.evaluations
+        assert count >= 1
+        fresh = evaluator.with_snapshot(service.snapshot())
+        assert fresh.evaluations == count
+        assert evaluator.with_options(EvaluationOptions()).evaluations == count
+
+    def test_anneal_uses_incremental_protocol(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        pool = service.cluster.node_ids()
+        inc = evaluator.incremental()
+        assert supports_incremental(inc)
+        assert not supports_incremental(evaluator.execution_time)
+        rng = np.random.default_rng(3)
+        schedule = AnnealingSchedule(moves_per_temperature=20, steps=12, patience=6)
+        best_inc, energy_inc, _ = anneal(
+            inc, TaskMapping(pool[:4]), MoveGenerator(pool), rng, schedule=schedule
+        )
+        rng = np.random.default_rng(3)
+        best_ref, energy_ref, _ = anneal(
+            evaluator.execution_time,
+            TaskMapping(pool[:4]),
+            MoveGenerator(pool),
+            rng,
+            schedule=schedule,
+        )
+        # Identical seeds and (to 1e-9) identical energies: the searches
+        # converge to equally good basins on this small instance.
+        assert energy_inc == pytest.approx(energy_ref, rel=0.02)
+        assert energy_inc == pytest.approx(evaluator.execution_time(best_inc), abs=TOL)
+        assert energy_ref == pytest.approx(evaluator.execution_time(best_ref), abs=TOL)
+
+    def test_cs_fast_and_reference_paths_agree(self, service, app_name):
+        pool = service.cluster.node_ids()
+        schedule = AnnealingSchedule(moves_per_temperature=20, steps=12, patience=6)
+        fast = service.schedule(app_name, CbesScheduler(schedule=schedule), pool, seed=11)
+        slow_scheduler = CbesScheduler(schedule=schedule)
+        slow_scheduler.use_fast_path = False
+        slow = service.schedule(app_name, slow_scheduler, pool, seed=11)
+        assert fast.predicted_time == pytest.approx(slow.predicted_time, rel=0.02)
+        assert fast.evaluations > 100  # cost metric survives the fast path
+
+
+class TestContextCache:
+    def test_context_cached_per_snapshot_fingerprint(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        assert evaluator.fast_context() is evaluator.fast_context()
+        other = evaluator.fast_context(EvaluationOptions(communication=False))
+        assert other is not evaluator.fast_context()
+        assert other is evaluator.fast_context(EvaluationOptions(communication=False))
+
+    def test_snapshot_fingerprint_tracks_content(self):
+        snap = SystemSnapshot(
+            states={"a": NodeState(0.5, 0.1), "b": NodeState()}, ncpus={"a": 2, "b": 1}
+        )
+        same = SystemSnapshot(
+            states={"b": NodeState(), "a": NodeState(0.5, 0.1)}, ncpus={"b": 1, "a": 2}
+        )
+        assert snap.fingerprint() == same.fingerprint()
+        assert snap.freeze().fingerprint() == snap.fingerprint()
+        assert snap.with_load("a", 0.9).fingerprint() != snap.fingerprint()
+
+    def test_context_validity_check(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        context = evaluator.fast_context()
+        snap = service.snapshot()
+        assert context.is_valid_for(snap)
+        assert not context.is_valid_for(snap.with_load(service.cluster.node_ids()[0], 2.5))
+
+
+class TestLatencyBulkApi:
+    def test_component_matrices_match_scalar_queries(self, service):
+        model: LatencyModel = service.cluster.latency_model
+        hosts = sorted(model.hosts)
+        a_src, a_dst, a_net, beta = model.component_matrices(hosts)
+        for i, j in itertools.product(range(len(hosts)), repeat=2):
+            pc = model.components(hosts[i], hosts[j])
+            assert a_src[i, j] == pc.alpha_src
+            assert a_dst[i, j] == pc.alpha_dst
+            assert a_net[i, j] == pc.alpha_net
+            assert beta[i, j] == pc.beta
+        assert a_src[0, 0] == LOCAL_ALPHA_S
+
+    def test_no_load_matrix_matches_scalar(self, service):
+        model: LatencyModel = service.cluster.latency_model
+        hosts = sorted(model.hosts)[:4]
+        matrix = model.no_load_matrix(hosts, 2048.0)
+        for i, j in itertools.product(range(len(hosts)), repeat=2):
+            assert matrix[i, j] == pytest.approx(
+                model.no_load(hosts[i], hosts[j], 2048.0), abs=1e-15
+            )
+
+    def test_memoized_no_load_lookup(self, service, app_name):
+        evaluator = service.evaluator(app_name)
+        context: EvaluationContext = evaluator.fast_context()
+        hosts = context.node_ids
+        first = context.no_load(hosts[0], hosts[1], 4096.0)
+        model = service.cluster.latency_model
+        assert first == pytest.approx(model.no_load(hosts[0], hosts[1], 4096.0), abs=1e-15)
+        assert context.no_load(hosts[0], hosts[1], 4096.0) == first  # served from the table
+
+
+class TestFalsyZeroAcpuRegression:
+    def test_zero_acpu_is_not_silently_replaced(self, service, app_name):
+        """A legitimate acpu == 0.0 entry must reach the latency model.
+
+        The old ``acpu.get(src) or snapshot.acpu(src)`` treated 0.0 as
+        missing and silently substituted the colocation-unaware snapshot
+        value; the latency model then accepted the wrong operating
+        point.  With the membership check the 0.0 propagates and the
+        model rejects it loudly (acpu must be in (0, 1]).
+        """
+
+        class SaturatedSnapshot(SystemSnapshot):
+            def acpu(self, node_id: str, mapped_procs: int = 1) -> float:
+                # Fully loaded once co-mapped; healthy-looking otherwise
+                # (so the colocation-unaware fallback value differs).
+                return 0.0 if mapped_procs >= 2 else 0.8
+
+        base = service.evaluator(app_name)
+        saturated = SaturatedSnapshot(
+            states=dict(service.snapshot().states), ncpus=dict(service.snapshot().ncpus)
+        )
+        evaluator = base.with_snapshot(saturated)
+        pool = service.cluster.node_ids()
+        # Rank 0 sits alone on a healthy node; its neighbour peers share
+        # a saturated node.  Rank 0's theta is evaluated first, so the
+        # 0.0 entry is exercised through latency_fn before any R_i
+        # division can trip over it.
+        # The old `or` fallback would silently swap in 0.8 here and only
+        # crash later (ZeroDivisionError in rank 1's R_i); the membership
+        # check propagates the 0.0 and fails loudly at the latency model.
+        colocated = TaskMapping([pool[0], pool[1], pool[1], pool[2]])
+        with pytest.raises(ValueError, match="acpu"):
+            evaluator.predict(colocated)

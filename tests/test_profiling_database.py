@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.cluster import single_switch
-from repro.cluster.latency import LatencyModel
 from repro.core import CBES, TaskMapping
 from repro.profiling import (
     ProfileDatabase,

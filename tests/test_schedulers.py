@@ -1,10 +1,9 @@
 """Tests for the schedulers: moves, SA core, CS/NCS/RS/greedy/GA."""
 
-import numpy as np
 import pytest
 
 from repro._util import spawn_rng
-from repro.core import EvaluationOptions, TaskMapping
+from repro.core import TaskMapping
 from repro.schedulers import (
     AnnealingSchedule,
     CbesScheduler,

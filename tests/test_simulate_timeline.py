@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import single_switch
 from repro.core import CBES, TaskMapping
-from repro.simulate import Compute, Program, SimulationConfig
+from repro.simulate import Compute, Program
 from repro.simulate.timeline import LoadTimeline
 from repro.workloads import SyntheticBenchmark
 

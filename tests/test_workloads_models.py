@@ -5,7 +5,6 @@ runs on the simulator, with the communication structure its benchmark
 is known for.
 """
 
-import math
 
 import pytest
 
