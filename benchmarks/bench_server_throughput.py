@@ -1,0 +1,120 @@
+"""Benchmark: scheduling-daemon round-trip throughput and overhead.
+
+Boots the asyncio daemon in-process (ephemeral port) around a calibrated
+service and pushes prediction jobs through the full network path —
+HTTP framing, queue, worker pool, JSON codecs — measuring jobs/second
+and the per-request overhead versus calling the evaluator directly.
+Every remote answer is checked against the direct path, so the run
+doubles as an end-to-end consistency test.
+
+Run modes
+---------
+``python benchmarks/bench_server_throughput.py``
+    Full benchmark: 16 nodes / 8 ranks, 200 jobs across 4 workers;
+    fails (exit 1) if jobs fail, answers disagree, or throughput drops
+    below 10 jobs/s.
+
+``python benchmarks/bench_server_throughput.py --quick``
+    CI smoke mode: 6 nodes, 24 jobs, 2 workers; fails on any failed
+    job or remote/direct disagreement (no throughput floor — shared CI
+    runners make one meaningless).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.server import BackpressureError, DaemonThread
+from repro.workloads import SyntheticBenchmark
+
+AGREEMENT_TOL = 1e-9
+
+
+def build_service(nnodes: int, nprocs: int) -> tuple[CBES, str]:
+    service = CBES(single_switch("bench", nnodes))
+    service.calibrate(seed=2)
+    app = SyntheticBenchmark(comm_fraction=0.2, duration_s=2.0, steps=4)
+    service.profile_application(app, nprocs, seed=1)
+    return service, app.name
+
+
+def pools(service: CBES, nprocs: int, njobs: int) -> list[list[str]]:
+    """Rotating node pools so jobs exercise distinct mappings."""
+    ids = service.cluster.node_ids()
+    return [[ids[(j + k) % len(ids)] for k in range(nprocs)] for j in range(njobs)]
+
+
+def direct_throughput(service: CBES, app_name: str, mappings: list[list[str]]) -> tuple[float, list[float]]:
+    evaluator = service.evaluator(app_name)
+    start = time.perf_counter()
+    times = [evaluator.predict(TaskMapping(nodes)).execution_time for nodes in mappings]
+    return time.perf_counter() - start, times
+
+
+def daemon_throughput(
+    service: CBES, app_name: str, mappings: list[list[str]], *, workers: int
+) -> tuple[float, list[float], int]:
+    retries = 0
+    with DaemonThread(service, workers=workers, queue_limit=2 * workers, job_ttl_s=3600.0) as srv:
+        client = srv.client()
+        start = time.perf_counter()
+        job_ids = []
+        for nodes in mappings:
+            while True:
+                try:
+                    job_ids.append(client.submit("predict", app=app_name, nodes=nodes)["id"])
+                    break
+                except BackpressureError as exc:
+                    retries += 1
+                    time.sleep(min(exc.retry_after_s, 0.02))
+        results = [client.wait(jid, timeout_s=300.0) for jid in job_ids]
+        elapsed = time.perf_counter() - start
+    times = [job["result"]["execution_time"] for job in results]
+    return elapsed, times, retries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode (small instance)")
+    parser.add_argument("--jobs", type=int, default=None, help="override job count")
+    args = parser.parse_args(argv)
+
+    nnodes, nprocs, workers = (6, 3, 2) if args.quick else (16, 8, 4)
+    njobs = args.jobs or (24 if args.quick else 200)
+
+    service, app_name = build_service(nnodes, nprocs)
+    mappings = pools(service, nprocs, njobs)
+
+    direct_s, direct_times = direct_throughput(service, app_name, mappings)
+    daemon_s, daemon_times, retries = daemon_throughput(
+        service, app_name, mappings, workers=workers
+    )
+
+    disagreements = sum(
+        1 for a, b in zip(direct_times, daemon_times) if abs(a - b) > AGREEMENT_TOL
+    )
+    rate = njobs / daemon_s
+    overhead_ms = (daemon_s - direct_s) / njobs * 1e3
+
+    print(f"cluster: {nnodes} nodes / {nprocs} ranks, {njobs} predict jobs, {workers} workers")
+    print(f"direct evaluator : {njobs / direct_s:10.0f} predictions/s ({direct_s * 1e3:7.1f} ms total)")
+    print(f"daemon round-trip: {rate:10.1f} jobs/s        ({daemon_s * 1e3:7.1f} ms total)")
+    print(f"per-job service overhead: {overhead_ms:.2f} ms (HTTP + queue + store)")
+    print(f"backpressure retries: {retries}, disagreements: {disagreements}")
+
+    if disagreements:
+        print(f"FAIL: {disagreements} remote results disagree with the direct evaluator")
+        return 1
+    if not args.quick and rate < 10.0:
+        print(f"FAIL: daemon throughput {rate:.1f} jobs/s below the 10 jobs/s floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

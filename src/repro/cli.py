@@ -14,23 +14,35 @@ Commands
 ``predict``    evaluate an explicit mapping
 ``inspect``    show stored profiles / cluster facts
 ``demo``       end-to-end walkthrough on Orange Grove
+``serve``      run the scheduling daemon (JSON-over-HTTP service)
+``submit``     submit a schedule/predict job to a running daemon
+``jobs``       list a running daemon's jobs (or show one)
+
+The daemon logs through the ``repro.server`` logger hierarchy; pass
+``--log-level debug|info|warning`` to ``serve`` to control verbosity
+(per-request access lines with request ids live in
+``repro.server.access``).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import logging
 import sys
 from collections.abc import Sequence
 
 from repro.cluster import Cluster, centurion, orange_grove
 from repro.core import CBES, TaskMapping
 from repro.profiling import ProfileDatabase
-from repro.schedulers import (
-    CbesScheduler,
-    GeneticScheduler,
-    GreedyScheduler,
-    NoCommScheduler,
-    RandomScheduler,
+from repro.schedulers import SCHEDULERS
+from repro.server import (
+    BackpressureError,
+    CbesClient,
+    CbesDaemon,
+    JobFailed,
+    ServerError,
 )
 from repro.workloads import (
     BT,
@@ -52,14 +64,6 @@ from repro.workloads import (
 __all__ = ["main", "build_parser"]
 
 CLUSTERS = {"orange-grove": orange_grove, "centurion": centurion}
-
-SCHEDULERS = {
-    "cs": CbesScheduler,
-    "ncs": NoCommScheduler,
-    "rs": RandomScheduler,
-    "greedy": GreedyScheduler,
-    "ga": GeneticScheduler,
-}
 
 
 def make_app(spec: str):
@@ -211,8 +215,8 @@ def cmd_demo(args) -> int:
     app = LU("A")
     service.profile_application(app, 8, seed=0)
     pool = cluster.nodes_by_arch("alpha-533")
-    cs = service.schedule(app.name, CbesScheduler(), pool, seed=args.seed)
-    rs = service.schedule(app.name, RandomScheduler(), pool, seed=args.seed)
+    cs = service.schedule(app.name, SCHEDULERS["cs"](), pool, seed=args.seed)
+    rs = service.schedule(app.name, SCHEDULERS["rs"](), pool, seed=args.seed)
     t_cs = service.simulator.run(
         app.program(8), cs.mapping.as_dict(), seed=42, arch_affinity=app.arch_affinity
     ).total_time
@@ -223,6 +227,125 @@ def cmd_demo(args) -> int:
     print(f"RS: predicted {rs.predicted_time:.1f}s, measured {t_rs:.1f}s")
     print(f"speedup from CBES scheduling: {(t_rs - t_cs) / t_rs * 100:.1f}%")
     return 0
+
+
+# -- service commands ---------------------------------------------------
+def configure_logging(level_name: str) -> None:
+    """Enable the structured ``repro.server`` logs on stderr."""
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        raise SystemExit(f"error: unknown log level {level_name!r}")
+    logging.basicConfig(
+        level=level, format="%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+    )
+
+
+def cmd_serve(args) -> int:
+    configure_logging(args.log_level)
+    service, _ = open_service(args)
+    monitor_kwargs = None
+    if args.monitor:
+        monitor_kwargs = {"forecaster": args.forecaster, "seed": args.seed}
+        service.start_monitoring(**monitor_kwargs)
+    daemon = CbesDaemon(
+        service,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        job_ttl_s=args.job_ttl,
+        refresh_interval_s=args.refresh_interval if args.refresh_interval > 0 else None,
+        monitor_kwargs=monitor_kwargs,
+    )
+
+    async def _serve() -> int:
+        host, port = await daemon.start()
+        print(f"serving on http://{host}:{port}", flush=True)
+        await daemon.serve_forever()
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _client(args) -> CbesClient:
+    return CbesClient(args.host, args.port, timeout_s=args.timeout)
+
+
+def cmd_submit(args) -> int:
+    client = _client(args)
+    payload: dict = {"app": args.app, "seed": args.seed}
+    nodes = [n.strip() for n in args.nodes.split(",")] if args.nodes else None
+    if args.kind == "schedule":
+        payload["scheduler"] = args.scheduler
+        if nodes:
+            payload["pool"] = nodes
+        elif args.arch:
+            payload["arch"] = args.arch
+    else:  # predict
+        if not nodes:
+            raise SystemExit("error: `submit --kind predict` requires --nodes")
+        payload["nodes"] = nodes
+    try:
+        job = client.submit(args.kind, **payload)
+    except BackpressureError as exc:
+        raise SystemExit(
+            f"error: daemon queue is full; retry in {exc.retry_after_s:.0f}s"
+        ) from None
+    except ServerError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}") from None
+    print(f"job {job['id']} {job['state']}")
+    if args.no_wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout_s=args.timeout)
+    except JobFailed as exc:
+        raise SystemExit(f"error: {exc}") from None
+    result = job["result"]
+    if args.kind == "schedule":
+        print(
+            f"scheduler: {result['scheduler']} ({result['evaluations']} evaluations, "
+            f"{result['wall_time_s']:.2f}s)"
+        )
+        print(f"predicted execution time: {result['predicted_time']:.2f} s")
+        for rank, node in enumerate(result["mapping"]):
+            print(f"  rank {rank} -> {node}")
+    else:
+        print(f"predicted execution time: {result['execution_time']:.2f} s")
+        crit = result["critical_breakdown"]
+        print(
+            f"critical rank {result['critical_rank']} on {crit['node']}: "
+            f"R={crit['computation']:.2f}s C={crit['communication']:.2f}s"
+        )
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    client = _client(args)
+    try:
+        if args.job_id:
+            print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+            return 0
+        health = client.healthz()
+        print(
+            f"daemon {health['status']}: uptime {health['uptime_s']:.0f}s, "
+            f"queue {health['queue_depth']}/{health['queue_limit']}, jobs {health['jobs']}"
+        )
+        for job in client.jobs():
+            line = f"  {job['id']}  {job['kind']:<9} {job['state']:<8}"
+            if job["state"] == "done" and "result" in job:
+                time_key = "predicted_time" if "predicted_time" in job["result"] else "execution_time"
+                if time_key in job["result"]:
+                    line += f" {job['result'][time_key]:8.2f} s"
+            elif job["state"] == "failed":
+                line += f" {job.get('error', '')}"
+            print(line)
+        return 0
+    except ServerError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}") from None
 
 
 # -- parser ---------------------------------------------------------------
@@ -263,6 +386,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("demo", help="end-to-end walkthrough")
     p.set_defaults(func=cmd_demo)
+
+    def add_endpoint_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1", help="daemon address")
+        p.add_argument("--port", type=int, default=8080, help="daemon port")
+        p.add_argument("--timeout", type=float, default=300.0, help="request/wait timeout (s)")
+
+    p = sub.add_parser("serve", help="run the scheduling daemon")
+    add_endpoint_args(p)
+    p.add_argument("--workers", type=int, default=2, help="job worker threads")
+    p.add_argument("--queue-limit", type=int, default=16, help="max queued jobs before 429")
+    p.add_argument("--job-ttl", type=float, default=600.0, help="finished-job retention (s)")
+    p.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=10.0,
+        help="snapshot refresh period in seconds (0 disables refresh)",
+    )
+    p.add_argument(
+        "--no-monitor",
+        dest="monitor",
+        action="store_false",
+        help="serve oracle snapshots instead of monitored/forecast ones",
+    )
+    p.add_argument("--forecaster", default="last-value", help="monitor forecaster kind")
+    p.add_argument("--log-level", default="info", help="repro.server log level")
+    p.set_defaults(func=cmd_serve, monitor=True)
+
+    p = sub.add_parser("submit", help="submit a job to a running daemon")
+    add_endpoint_args(p)
+    p.add_argument("app", help="profiled application name, e.g. lu.A")
+    p.add_argument("--kind", default="schedule", choices=["schedule", "predict"])
+    p.add_argument("--scheduler", default="cs", choices=sorted(SCHEDULERS))
+    p.add_argument("--arch", default=None, help="restrict the pool to one architecture")
+    p.add_argument(
+        "--nodes",
+        default=None,
+        help="comma-separated node ids (the pool for schedule, the mapping for predict)",
+    )
+    p.add_argument("--no-wait", action="store_true", help="print the job id and return")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a running daemon's jobs")
+    add_endpoint_args(p)
+    p.add_argument("job_id", nargs="?", default=None, help="show one job as JSON")
+    p.set_defaults(func=cmd_jobs)
     return parser
 
 

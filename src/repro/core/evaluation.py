@@ -190,6 +190,24 @@ class MappingEvaluator:
             self._fast_contexts[key] = context
         return context
 
+    def install_context(self, context) -> None:
+        """Adopt a prebuilt :class:`~repro.core.fast_eval.EvaluationContext`.
+
+        Long-running services keep contexts across requests (one per
+        application/options pair) and hand them to the short-lived
+        evaluator serving each request, so the fast path's precomputation
+        is paid once per snapshot generation rather than once per job.
+        The context must have been built for this evaluator's profile and
+        current snapshot; a fingerprint mismatch means the monitoring
+        data moved on and the context is stale.
+        """
+        if context.profile is not self._profile:
+            raise ValueError("context was built for a different application profile")
+        fingerprint = self._snapshot.fingerprint()
+        if context.snapshot_fingerprint != fingerprint:
+            raise ValueError("context was built from a different snapshot (stale fingerprint)")
+        self._fast_contexts[(context.options, fingerprint)] = context
+
     def incremental(self, options: EvaluationOptions | None = None):
         """A fresh :class:`~repro.core.fast_eval.IncrementalEvaluator`.
 

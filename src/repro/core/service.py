@@ -95,9 +95,26 @@ class CBES:
         return self._cluster.calibrate(noise=noise, seed=seed)
 
     def start_monitoring(self, *, forecaster: str = "last-value", seed: int = 0, **kwargs) -> SystemMonitor:
-        """Create and attach the monitoring daemons."""
-        self._monitor = SystemMonitor(self._cluster, forecaster=forecaster, seed=seed, **kwargs)
+        """Create and attach the monitoring daemons.
+
+        Idempotent for long-running processes (the scheduling daemon
+        restarts monitoring after snapshot-refresh failures): when a
+        monitor is already attached, the call is a no-op returning the
+        existing monitor.  Call :meth:`stop_monitoring` first to attach
+        one with different settings.
+        """
+        if self._monitor is None:
+            self._monitor = SystemMonitor(self._cluster, forecaster=forecaster, seed=seed, **kwargs)
         return self._monitor
+
+    def stop_monitoring(self) -> None:
+        """Detach the monitoring daemons; a no-op when none are attached."""
+        self._monitor = None
+
+    @property
+    def is_monitoring(self) -> bool:
+        """Whether a monitor is currently attached."""
+        return self._monitor is not None
 
     @property
     def monitor(self) -> SystemMonitor:

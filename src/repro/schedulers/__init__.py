@@ -10,6 +10,7 @@ from repro.schedulers.ncs import NoCommScheduler
 from repro.schedulers.random_scheduler import RandomScheduler
 
 __all__ = [
+    "SCHEDULERS",
     "AnnealingSchedule",
     "CbesScheduler",
     "GeneticParams",
@@ -22,5 +23,28 @@ __all__ = [
     "ScheduleResult",
     "Scheduler",
     "anneal",
+    "make_scheduler",
     "random_mapping",
 ]
+
+#: Short tags (the paper's CS / NCS / RS plus the baselines) to
+#: scheduler classes — the shared registry behind the CLI's
+#: ``--scheduler`` option and the daemon's job payloads.
+SCHEDULERS: dict[str, type[Scheduler]] = {
+    "cs": CbesScheduler,
+    "ncs": NoCommScheduler,
+    "rs": RandomScheduler,
+    "greedy": GreedyScheduler,
+    "ga": GeneticScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registry tag (case-insensitive)."""
+    try:
+        cls = SCHEDULERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; valid: {', '.join(sorted(SCHEDULERS))}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,177 @@
+"""Blocking client for the CBES scheduling daemon.
+
+``CbesClient`` is the reference consumer of the daemon's JSON-over-HTTP
+API — used by the ``repro submit`` / ``repro jobs`` CLI commands, the
+tests, and the throughput benchmark.  One short-lived connection per
+request (the daemon closes after each response), stdlib only.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServerError", "BackpressureError", "JobFailed", "CbesClient"]
+
+
+class ServerError(RuntimeError):
+    """The daemon answered with an error document."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class BackpressureError(ServerError):
+    """The daemon's job queue is full (HTTP 429); retry after a delay."""
+
+    def __init__(self, status: int, code: str, message: str, retry_after_s: float):
+        super().__init__(status, code, message)
+        self.retry_after_s = retry_after_s
+
+
+class JobFailed(RuntimeError):
+    """A polled job finished in the ``failed`` state."""
+
+    def __init__(self, job: dict):
+        super().__init__(f"job {job.get('id')} failed: {job.get('error')}")
+        self.job = job
+
+
+class CbesClient:
+    """Talks to one scheduling daemon.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's bind address.
+    timeout_s:
+        Socket timeout per request.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            data = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if data else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                raise ServerError(response.status, "bad-response", raw[:200].decode("latin-1")) from None
+            if response.status >= 400:
+                error = payload.get("error", {})
+                code = error.get("code", "unknown")
+                message = error.get("message", "")
+                if response.status == 429:
+                    retry_after = float(response.headers.get("Retry-After", "1"))
+                    raise BackpressureError(response.status, code, message, retry_after)
+                raise ServerError(response.status, code, message)
+            return payload
+        finally:
+            conn.close()
+
+    # -- plain endpoints ------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def snapshot(self) -> dict:
+        return self._request("GET", "/v1/snapshot")["snapshot"]
+
+    def profiles(self) -> list[str]:
+        return self._request("GET", "/v1/profiles")["applications"]
+
+    # -- jobs -----------------------------------------------------------
+    def submit(self, kind: str, **payload) -> dict:
+        """Submit a job; returns the queued job document (with ``id``)."""
+        return self._request("POST", "/v1/jobs", {"kind": kind, **payload})["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, *, timeout_s: float = 120.0, poll_interval_s: float = 0.05) -> dict:
+        """Poll until the job finishes; returns the ``done`` job document.
+
+        Raises :class:`JobFailed` if the job failed and ``TimeoutError``
+        if it is still pending at the deadline.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            state = job["state"]
+            if state == "done":
+                return job
+            if state == "failed":
+                raise JobFailed(job)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {state} after {timeout_s:.0f}s")
+            time.sleep(poll_interval_s)
+
+    # -- one-call conveniences ------------------------------------------
+    def schedule(
+        self,
+        app: str,
+        *,
+        scheduler: str = "cs",
+        pool: list[str] | None = None,
+        arch: str | None = None,
+        seed: int = 0,
+        options: dict | None = None,
+        timeout_s: float = 300.0,
+    ) -> dict:
+        """Submit a scheduling job and wait for its result document."""
+        payload: dict = {"app": app, "scheduler": scheduler, "seed": seed}
+        if pool is not None:
+            payload["pool"] = pool
+        if arch is not None:
+            payload["arch"] = arch
+        if options is not None:
+            payload["options"] = options
+        job = self.submit("schedule", **payload)
+        return self.wait(job["id"], timeout_s=timeout_s)["result"]
+
+    def predict(
+        self,
+        app: str,
+        nodes: list[str],
+        *,
+        seed: int = 0,
+        options: dict | None = None,
+        timeout_s: float = 60.0,
+    ) -> dict:
+        """Submit a prediction job for one explicit mapping and wait."""
+        payload: dict = {"app": app, "nodes": nodes, "seed": seed}
+        if options is not None:
+            payload["options"] = options
+        job = self.submit("predict", **payload)
+        return self.wait(job["id"], timeout_s=timeout_s)["result"]
+
+    def compare(
+        self,
+        app: str,
+        mappings: list[list[str]],
+        *,
+        seed: int = 0,
+        options: dict | None = None,
+        timeout_s: float = 120.0,
+    ) -> list[dict]:
+        """Submit a comparison job; returns predictions fastest-first."""
+        payload: dict = {"app": app, "mappings": mappings, "seed": seed}
+        if options is not None:
+            payload["options"] = options
+        job = self.submit("compare", **payload)
+        return self.wait(job["id"], timeout_s=timeout_s)["result"]["ranked"]

@@ -1,0 +1,541 @@
+"""The CBES scheduling daemon: an asyncio JSON-over-HTTP service.
+
+This is the paper's figure-2 deployment shape made real: a long-running
+process owns the calibrated :class:`~repro.core.service.CBES` facade and
+its monitoring, and serves scheduling / prediction / comparison requests
+from external clients over the network.
+
+Design:
+
+* ``asyncio.start_server`` accepts connections; every request is JSON in
+  and JSON out (see ``docs/SERVICE.md`` for the API).
+* Submitted jobs enter a **bounded** queue; when it is full the daemon
+  answers HTTP 429 with ``Retry-After`` instead of queueing unboundedly.
+* A small ``ThreadPoolExecutor`` worker pool runs jobs off the event
+  loop (scheduling is CPU-bound); workers reuse cached
+  :class:`~repro.core.fast_eval.EvaluationContext` precomputation, one
+  per (application, options) pair and snapshot generation.
+* A background task refreshes the :class:`SystemSnapshot` on a
+  configurable interval; a changed snapshot ``fingerprint()`` swaps the
+  serving snapshot and invalidates every cached evaluation context.
+* ``SIGTERM``/``SIGINT`` stop accepting work and drain in-flight jobs
+  before the daemon exits (graceful shutdown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.evaluation import EvaluationOptions
+from repro.core.fast_eval import EvaluationContext, FastEvalUnavailable
+from repro.core.mapping import TaskMapping
+from repro.core.service import CBES
+from repro.schedulers import make_scheduler
+from repro.server.jobs import Job, JobStore
+from repro.server.protocol import ApiError, HttpRequest, read_request, render_response
+from repro.server.serialize import (
+    options_from_dict,
+    prediction_to_dict,
+    schedule_result_to_dict,
+    snapshot_to_dict,
+    validate_job_payload,
+)
+
+__all__ = ["CbesDaemon", "DaemonThread"]
+
+log = logging.getLogger("repro.server.daemon")
+access_log = logging.getLogger("repro.server.access")
+
+
+class CbesDaemon:
+    """Serves CBES requests over JSON-over-HTTP from an asyncio loop.
+
+    Parameters
+    ----------
+    service:
+        A calibrated :class:`CBES` facade with profiles registered
+        (attach a monitor before starting if forecasted snapshots are
+        wanted).
+    host, port:
+        Bind address; port 0 picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    workers:
+        Size of the job worker pool (threads).
+    queue_limit:
+        Bound on jobs *waiting* for a worker; beyond it submissions get
+        HTTP 429.
+    job_ttl_s:
+        How long finished job results stay pollable.
+    refresh_interval_s:
+        Period of the snapshot-refresh task; ``None`` disables refresh
+        (the start-time snapshot serves forever — fine for oracle
+        snapshots of a static cluster).
+    drain_timeout_s:
+        How long shutdown waits for queued + in-flight jobs.
+    monitor_kwargs:
+        When given, the daemon owns the service's monitor lifecycle: a
+        failed snapshot refresh stops and restarts monitoring with these
+        ``CBES.start_monitoring`` keyword arguments.
+    """
+
+    def __init__(
+        self,
+        service: CBES,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_limit: int = 16,
+        job_ttl_s: float = 600.0,
+        refresh_interval_s: float | None = None,
+        drain_timeout_s: float = 30.0,
+        monitor_kwargs: dict | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if refresh_interval_s is not None and refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be > 0")
+        self._service = service
+        self._host = host
+        self._port = port
+        self._workers = workers
+        self._queue_limit = queue_limit
+        self._refresh_interval = refresh_interval_s
+        self._drain_timeout = drain_timeout_s
+        self._monitor_kwargs = dict(monitor_kwargs) if monitor_kwargs else None
+
+        self._store = JobStore(ttl_s=job_ttl_s)
+        self._queue: asyncio.Queue[Job] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._refresh_task: asyncio.Task | None = None
+        self._shutdown_requested: asyncio.Event | None = None
+        self._draining = False
+        self._started_at: float | None = None
+        self._snapshot = None  # current frozen SystemSnapshot
+        self._snapshot_refreshes = 0
+        #: (app name, EvaluationOptions) -> EvaluationContext, all built
+        #: from the *current* snapshot generation.
+        self._contexts: dict[tuple[str, EvaluationOptions], EvaluationContext] = {}
+        self._ctx_lock = threading.Lock()
+
+    # -- properties -----------------------------------------------------
+    @property
+    def service(self) -> CBES:
+        return self._service
+
+    @property
+    def store(self) -> JobStore:
+        return self._store
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); only meaningful after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("daemon is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def snapshot_refreshes(self) -> int:
+        """How many times the refresh task swapped in a fresher snapshot."""
+        return self._snapshot_refreshes
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener and start workers + the refresh task."""
+        if self._server is not None:
+            return self.address
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_requested = asyncio.Event()
+        self._snapshot = self._service.snapshot().freeze()
+        self._queue = asyncio.Queue(maxsize=self._queue_limit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="cbes-job"
+        )
+        self._started_at = time.monotonic()
+        self._worker_tasks = [
+            self._loop.create_task(self._worker(), name=f"cbes-worker-{i}")
+            for i in range(self._workers)
+        ]
+        if self._refresh_interval is not None:
+            self._refresh_task = self._loop.create_task(
+                self._refresh_loop(), name="cbes-snapshot-refresh"
+            )
+        self._server = await asyncio.start_server(self._handle_connection, self._host, self._port)
+        host, port = self.address
+        log.info(
+            "daemon listening on %s:%d (workers=%d queue_limit=%d refresh=%s)",
+            host,
+            port,
+            self._workers,
+            self._queue_limit,
+            self._refresh_interval,
+        )
+        return host, port
+
+    def request_shutdown(self) -> None:
+        """Ask the daemon to drain and stop; safe from any thread."""
+        loop, event = self._loop, self._shutdown_requested
+        if loop is None or event is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    async def wait_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown` (or a signal) fires."""
+        assert self._shutdown_requested is not None, "daemon is not started"
+        await self._shutdown_requested.wait()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the daemon; with *drain*, finish accepted jobs first."""
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        assert self._queue is not None
+        if drain:
+            try:
+                await asyncio.wait_for(self._queue.join(), timeout=self._drain_timeout)
+            except asyncio.TimeoutError:
+                log.warning(
+                    "drain timeout after %.1fs; abandoning %d queued job(s)",
+                    self._drain_timeout,
+                    self._queue.qsize(),
+                )
+                while not self._queue.empty():
+                    job = self._queue.get_nowait()
+                    self._store.mark_failed(job.id, "daemon shut down before the job ran")
+                    self._queue.task_done()
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+        for task in self._worker_tasks:
+            task.cancel()
+        pending = [t for t in (*self._worker_tasks, self._refresh_task) if t is not None]
+        await asyncio.gather(*pending, return_exceptions=True)
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._server = None
+        log.info("daemon stopped (drained=%s, jobs=%s)", drain, self._store.counts())
+
+    async def serve_forever(self) -> None:
+        """Start, serve until SIGTERM/SIGINT (or request_shutdown), drain."""
+        await self.start()
+        assert self._loop is not None
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self.request_shutdown)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Platforms/threads without signal support: rely on
+                # request_shutdown() being called programmatically.
+                pass
+        try:
+            await self.wait_shutdown()
+            log.info("shutdown requested; draining in-flight jobs")
+        finally:
+            for sig in installed:
+                self._loop.remove_signal_handler(sig)
+            await self.stop(drain=True)
+
+    # -- snapshot refresh -----------------------------------------------
+    def _poll_snapshot(self):
+        """Poll the monitor (if any) and return a frozen snapshot."""
+        if self._service.is_monitoring:
+            self._service.monitor.poll()
+        return self._service.snapshot().freeze()
+
+    def _adopt_snapshot(self, snapshot) -> bool:
+        """Swap in *snapshot* if its fingerprint differs; invalidate caches."""
+        fingerprint = snapshot.fingerprint()
+        if self._snapshot is not None and fingerprint == self._snapshot.fingerprint():
+            return False
+        self._snapshot = snapshot
+        with self._ctx_lock:
+            stale = [
+                key
+                for key, ctx in self._contexts.items()
+                if ctx.snapshot_fingerprint != fingerprint
+            ]
+            for key in stale:
+                del self._contexts[key]
+        self._snapshot_refreshes += 1
+        log.info(
+            "snapshot refreshed (fingerprint %s, %d stale context(s) dropped)",
+            fingerprint[:12],
+            len(stale),
+        )
+        return True
+
+    async def _refresh_loop(self) -> None:
+        assert self._loop is not None and self._refresh_interval is not None
+        while True:
+            await asyncio.sleep(self._refresh_interval)
+            try:
+                snapshot = await self._loop.run_in_executor(None, self._poll_snapshot)
+            except Exception as exc:  # noqa: BLE001 - keep the daemon alive
+                log.warning("snapshot refresh failed: %s", exc)
+                if self._monitor_kwargs is not None:
+                    # The monitor lifecycle is idempotent, so a restart
+                    # is always safe here.
+                    self._service.stop_monitoring()
+                    self._service.start_monitoring(**self._monitor_kwargs)
+                    log.info("monitoring restarted after refresh failure")
+                continue
+            self._adopt_snapshot(snapshot)
+            self._store.evict_expired()
+
+    # -- job execution --------------------------------------------------
+    async def _worker(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        assert self._loop is not None
+        self._store.mark_running(job.id)
+        queued_for = (job.started_at or 0.0) - job.created_at
+        log.info("job %s (%s, req=%s) started after %.1f ms queued",
+                 job.id, job.kind, job.request_id, queued_for * 1e3)
+        started = time.perf_counter()
+        try:
+            result = await self._loop.run_in_executor(self._executor, self._execute, job)
+        except asyncio.CancelledError:
+            self._store.mark_failed(job.id, "daemon shut down while the job ran")
+            raise
+        except Exception as exc:  # noqa: BLE001 - job errors become job state
+            self._store.mark_failed(job.id, f"{type(exc).__name__}: {exc}")
+            log.warning("job %s failed: %s: %s", job.id, type(exc).__name__, exc)
+        else:
+            self._store.mark_done(job.id, result)
+            log.info(
+                "job %s done in %.1f ms", job.id, (time.perf_counter() - started) * 1e3
+            )
+
+    def _context_for(self, app: str, options: EvaluationOptions, snapshot, evaluator) -> None:
+        """Install the cached fast-eval context (or cache a fresh one)."""
+        key = (app, options)
+        fingerprint = snapshot.fingerprint()
+        with self._ctx_lock:
+            context = self._contexts.get(key)
+        if context is not None and context.snapshot_fingerprint == fingerprint:
+            evaluator.install_context(context)
+            return
+        try:
+            context = evaluator.fast_context(options)
+        except FastEvalUnavailable:
+            return
+        with self._ctx_lock:
+            self._contexts[key] = context
+
+    def _execute(self, job: Job) -> dict:
+        """Run one job on a worker thread; returns the JSON result doc."""
+        payload = job.payload
+        app = payload["app"]
+        options = options_from_dict(payload.get("options"))
+        snapshot = self._snapshot  # one atomic read: jobs see one generation
+        evaluator = self._service.evaluator(app, options=options, snapshot=snapshot)
+        if job.kind == "schedule":
+            self._context_for(app, options, snapshot, evaluator)
+            scheduler = make_scheduler(payload["scheduler"])
+            result = scheduler.schedule(evaluator, payload["pool"], seed=payload["seed"])
+            doc = schedule_result_to_dict(result)
+        elif job.kind == "predict":
+            doc = prediction_to_dict(evaluator.predict(TaskMapping(payload["nodes"])))
+        else:  # compare
+            ranked = evaluator.compare([TaskMapping(m) for m in payload["mappings"]])
+            doc = {"ranked": [prediction_to_dict(p) for p in ranked]}
+        doc["snapshot_fingerprint"] = snapshot.fingerprint()
+        return doc
+
+    # -- HTTP front end -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_id = uuid.uuid4().hex[:8]
+        started = time.perf_counter()
+        method, path = "-", "-"
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                method, path = request.method, request.path
+                status, payload, headers = self._dispatch(request, request_id)
+            except ApiError as exc:
+                status, payload, headers = exc.status, exc.to_payload(), exc.headers
+            except Exception:  # noqa: BLE001 - never leak a traceback to the wire
+                log.exception("unhandled error serving %s %s", method, path)
+                status = 500
+                payload = {"error": {"code": "internal", "message": "internal server error"}}
+                headers = {}
+            headers["X-Request-Id"] = request_id
+            writer.write(render_response(status, payload, headers=headers))
+            await writer.drain()
+            access_log.info(
+                "req=%s %s %s -> %d (%.1f ms)",
+                request_id,
+                method,
+                path,
+                status,
+                (time.perf_counter() - started) * 1e3,
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, request: HttpRequest, request_id: str) -> tuple[int, dict, dict]:
+        """Route one request; returns (status, payload, headers)."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._submit(request, request_id)
+            if method == "GET":
+                return 200, {"jobs": [job.to_dict() for job in self._store.list()]}, {}
+            raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
+            job_id = path.removeprefix("/v1/jobs/")
+            try:
+                job = self._store.get(job_id)
+            except KeyError:
+                raise ApiError(
+                    404, "not-found", f"no job {job_id!r} (unknown, or expired past TTL)"
+                ) from None
+            return 200, {"job": job.to_dict()}, {}
+        if method != "GET":
+            raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
+        if path == "/v1/healthz":
+            return 200, self._health(), {}
+        if path == "/v1/snapshot":
+            return 200, {"snapshot": snapshot_to_dict(self._snapshot)}, {}
+        if path == "/v1/profiles":
+            return 200, {"applications": self._service.profiled_applications}, {}
+        raise ApiError(404, "not-found", f"no route for {path}")
+
+    def _submit(self, request: HttpRequest, request_id: str) -> tuple[int, dict, dict]:
+        if self._draining:
+            raise ApiError(503, "shutting-down", "daemon is draining; submit elsewhere")
+        kind, payload = validate_job_payload(self._service, request.json())
+        assert self._queue is not None
+        job = self._store.create(kind, payload, request_id=request_id)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self._store.discard(job.id)
+            raise ApiError(
+                429,
+                "queue-full",
+                f"job queue is full ({self._queue_limit} waiting); retry later",
+                headers={"Retry-After": "1"},
+            ) from None
+        self._store.evict_expired()
+        log.info("job %s (%s app=%s req=%s) queued", job.id, kind, payload["app"], request_id)
+        return 202, {"job": job.to_dict()}, {}
+
+    def _health(self) -> dict:
+        assert self._queue is not None and self._started_at is not None
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "workers": self._workers,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self._queue_limit,
+            "jobs": self._store.counts(),
+            "snapshot_fingerprint": self._snapshot.fingerprint(),
+            "snapshot_refreshes": self._snapshot_refreshes,
+            "monitoring": self._service.is_monitoring,
+        }
+
+
+class DaemonThread:
+    """Run a :class:`CbesDaemon` on a dedicated thread and event loop.
+
+    The blocking convenience used by tests, examples and benchmarks::
+
+        with DaemonThread(service) as server:
+            client = server.client()
+            ...
+
+    Exiting the ``with`` block requests shutdown and joins the thread
+    (draining in-flight jobs, like SIGTERM would).
+    """
+
+    def __init__(self, service: CBES, *, startup_timeout_s: float = 30.0, **daemon_kwargs):
+        self.daemon = CbesDaemon(service, **daemon_kwargs)
+        self._startup_timeout = startup_timeout_s
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._main, name="cbes-daemon", daemon=True)
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        try:
+            await self.daemon.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the starter
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self.daemon.wait_shutdown()
+        finally:
+            await self.daemon.stop(drain=True)
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "DaemonThread":
+        self._thread.start()
+        if not self._ready.wait(self._startup_timeout):
+            raise RuntimeError("daemon did not start within the startup timeout")
+        if self._error is not None:
+            raise RuntimeError("daemon failed to start") from self._error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self, *, timeout_s: float = 60.0) -> None:
+        """Request shutdown and join the daemon thread."""
+        self.daemon.request_shutdown()
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():
+            raise RuntimeError("daemon thread did not stop within the timeout")
+
+    # -- conveniences ---------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.daemon.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.daemon.address[1]
+
+    def client(self, **kwargs):
+        """A blocking :class:`~repro.server.client.CbesClient` for this daemon."""
+        from repro.server.client import CbesClient
+
+        return CbesClient(self.host, self.port, **kwargs)

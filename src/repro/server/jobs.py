@@ -1,0 +1,192 @@
+"""Job lifecycle and storage for the scheduling daemon.
+
+A *job* is one asynchronous CBES request (schedule / predict / compare)
+submitted over the network: it is accepted into a bounded queue, picked
+up by a worker, and its result is kept for the client to poll.  The
+:class:`JobStore` is the daemon's only stateful record of requests; it
+enforces the status state machine and evicts finished jobs after a TTL
+so a long-running daemon's memory stays bounded.
+
+The store is thread-safe: the event loop creates and lists jobs while
+worker threads drive the status transitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["JobState", "JobStateError", "Job", "JobStore"]
+
+
+class JobState(str, Enum):
+    """Where a job is in its lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+#: Legal state transitions (queued jobs may fail directly, e.g. when a
+#: drain deadline expires before a worker ever picked them up).
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.FAILED}),
+    JobState.RUNNING: frozenset({JobState.DONE, JobState.FAILED}),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+}
+
+
+class JobStateError(RuntimeError):
+    """An illegal job status transition was attempted."""
+
+
+@dataclass
+class Job:
+    """One asynchronous CBES request and its (eventual) outcome."""
+
+    id: str
+    kind: str
+    payload: dict
+    state: JobState = JobState.QUEUED
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: JSON-ready result document (set on DONE).
+    result: dict | None = None
+    #: Human-readable failure reason (set on FAILED).
+    error: str | None = None
+    #: Request id of the submitting HTTP request (log correlation).
+    request_id: str = ""
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        """The job document served by ``GET /v1/jobs/{id}``."""
+        doc: dict = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state.value,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "request_id": self.request_id,
+        }
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobStore:
+    """Thread-safe registry of jobs with TTL eviction of finished ones.
+
+    Parameters
+    ----------
+    ttl_s:
+        How long finished (done/failed) jobs stay pollable.  Jobs still
+        queued or running are never evicted.
+    clock:
+        Injectable monotonic time source (tests use a fake clock).
+    """
+
+    def __init__(self, *, ttl_s: float = 600.0, clock: Callable[[], float] = time.monotonic):
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be > 0")
+        self._ttl = float(ttl_s)
+        self._clock = clock
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # -- creation / lookup ----------------------------------------------
+    def create(self, kind: str, payload: dict, *, request_id: str = "") -> Job:
+        """Register a new queued job and return it."""
+        with self._lock:
+            job = Job(
+                id=f"j{next(self._counter):06d}",
+                kind=kind,
+                payload=payload,
+                created_at=self._clock(),
+                request_id=request_id,
+            )
+            self._jobs[job.id] = job
+            return job
+
+    def discard(self, job_id: str) -> None:
+        """Forget a job entirely (submission was rejected after create)."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def get(self, job_id: str) -> Job:
+        """The job with *job_id*; raises ``KeyError`` if unknown/evicted."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def list(self) -> list[Job]:
+        """All live jobs, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_at)
+
+    def counts(self) -> dict[str, int]:
+        """Number of live jobs per state (health endpoint)."""
+        out = {state.value: 0 for state in JobState}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.state.value] += 1
+        return out
+
+    # -- transitions ----------------------------------------------------
+    def _transition(self, job_id: str, new: JobState) -> Job:
+        job = self.get(job_id)
+        with job._lock:
+            if new not in _TRANSITIONS[job.state]:
+                raise JobStateError(f"job {job.id}: illegal transition {job.state.value} -> {new.value}")
+            job.state = new
+        return job
+
+    def mark_running(self, job_id: str) -> Job:
+        job = self._transition(job_id, JobState.RUNNING)
+        job.started_at = self._clock()
+        return job
+
+    def mark_done(self, job_id: str, result: dict) -> Job:
+        job = self._transition(job_id, JobState.DONE)
+        job.result = result
+        job.finished_at = self._clock()
+        return job
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        job = self._transition(job_id, JobState.FAILED)
+        job.error = error
+        job.finished_at = self._clock()
+        return job
+
+    # -- eviction -------------------------------------------------------
+    def evict_expired(self) -> int:
+        """Drop finished jobs older than the TTL; returns how many."""
+        deadline = self._clock() - self._ttl
+        with self._lock:
+            expired = [
+                jid
+                for jid, job in self._jobs.items()
+                if job.state.is_terminal
+                and job.finished_at is not None
+                and job.finished_at <= deadline
+            ]
+            for jid in expired:
+                del self._jobs[jid]
+        return len(expired)

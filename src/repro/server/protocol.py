@@ -1,0 +1,141 @@
+"""Minimal JSON-over-HTTP/1.1 framing for the scheduling daemon.
+
+The daemon speaks just enough HTTP for its fixed API surface: one
+request per connection, ``GET``/``POST``, JSON bodies both ways.  Kept
+stdlib-only and asyncio-stream based so the service has no dependencies
+beyond what the library already requires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["ApiError", "HttpRequest", "read_request", "render_response"]
+
+#: Upper bounds keeping one misbehaving client from ballooning memory.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ApiError(Exception):
+    """An error the daemon reports to the client as a JSON error document.
+
+    ``code`` is the machine-readable error tag documented in
+    ``docs/SERVICE.md``; ``message`` is for humans; ``headers`` lets a
+    handler attach response headers (e.g. ``Retry-After`` on 429).
+    """
+
+    def __init__(self, status: int, code: str, message: str, *, headers: dict[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.headers = dict(headers or {})
+
+    def to_payload(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object; raises :class:`ApiError` (400)."""
+        if not self.body:
+            raise ApiError(400, "bad-request", "request body must be a JSON object")
+        try:
+            doc = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, "bad-request", f"malformed JSON body: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ApiError(400, "bad-request", "request body must be a JSON object")
+        return doc
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one HTTP request off *reader*.
+
+    Returns ``None`` on a clean EOF before any bytes (client closed the
+    idle connection); raises :class:`ApiError` on malformed or oversized
+    input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ApiError(400, "bad-request", "truncated HTTP request") from None
+    except asyncio.LimitOverrunError:
+        raise ApiError(413, "payload-too-large", "request header section too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ApiError(413, "payload-too-large", "request header section too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ApiError(400, "bad-request", f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ApiError(400, "bad-request", f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ApiError(400, "bad-request", "malformed Content-Length header") from None
+        if length < 0:
+            raise ApiError(400, "bad-request", "malformed Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "payload-too-large", f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ApiError(400, "bad-request", "request body shorter than Content-Length") from None
+    elif headers.get("transfer-encoding"):
+        raise ApiError(400, "bad-request", "chunked request bodies are not supported")
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int, payload: dict, *, headers: dict[str, str] | None = None
+) -> bytes:
+    """Serialize a JSON response (connection-close semantics)."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,207 @@
+"""JSON codecs and request validation for the scheduling daemon.
+
+Everything crossing the wire is plain JSON; this module maps between
+those documents and the library's domain objects (mappings, evaluation
+options, predictions, schedule results, snapshots) and validates job
+submissions *at submit time* so malformed requests are rejected with
+HTTP 400 instead of surfacing later as failed jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.core.evaluation import EvaluationOptions, MappingPrediction
+from repro.monitoring.snapshot import SystemSnapshot
+from repro.schedulers import SCHEDULERS
+from repro.schedulers.base import ScheduleResult
+from repro.server.protocol import ApiError
+
+__all__ = [
+    "JOB_KINDS",
+    "options_from_dict",
+    "prediction_to_dict",
+    "schedule_result_to_dict",
+    "snapshot_to_dict",
+    "validate_job_payload",
+]
+
+JOB_KINDS = ("schedule", "predict", "compare")
+
+_OPTION_FIELDS = {f.name for f in fields(EvaluationOptions)}
+
+
+# -- inbound ------------------------------------------------------------
+def options_from_dict(doc: dict | None) -> EvaluationOptions:
+    """Parse an evaluation-options document (term toggles)."""
+    if doc is None:
+        return EvaluationOptions()
+    if not isinstance(doc, dict):
+        raise ApiError(400, "bad-request", "options must be a JSON object")
+    unknown = set(doc) - _OPTION_FIELDS
+    if unknown:
+        raise ApiError(
+            400,
+            "bad-request",
+            f"unknown evaluation option(s) {sorted(unknown)}; valid: {sorted(_OPTION_FIELDS)}",
+        )
+    for name, value in doc.items():
+        if not isinstance(value, bool):
+            raise ApiError(400, "bad-request", f"option {name!r} must be a boolean")
+    return EvaluationOptions(**doc)
+
+
+def _node_list(value: object, what: str) -> list[str]:
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(n, str) and n for n in value)
+    ):
+        raise ApiError(400, "bad-request", f"{what} must be a non-empty list of node ids")
+    return list(value)
+
+
+def _resolve_app(service, name: object) -> str:
+    """Case-insensitive profile lookup, mirroring the CLI's resolution."""
+    if not isinstance(name, str) or not name:
+        raise ApiError(400, "bad-request", "payload field 'app' must be a profile name")
+    stored = {app.lower(): app for app in service.profiled_applications}
+    try:
+        return stored[name.lower()]
+    except KeyError:
+        raise ApiError(
+            400,
+            "unknown-application",
+            f"no stored profile for {name!r} "
+            f"(have: {', '.join(service.profiled_applications) or 'none'})",
+        ) from None
+
+
+def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
+    """Validate a ``POST /v1/jobs`` body against the service's state.
+
+    Returns ``(kind, normalized payload)``; raises :class:`ApiError`
+    (status 400) describing the first problem found.  The normalized
+    payload is what the worker executes — app name canonicalized, node
+    ids checked against the cluster, seed and options materialized.
+    """
+    kind = doc.get("kind")
+    if kind not in JOB_KINDS:
+        raise ApiError(
+            400, "bad-request", f"payload field 'kind' must be one of {', '.join(JOB_KINDS)}"
+        )
+    known = {"kind", "app", "seed", "options", "scheduler", "pool", "arch", "nodes", "mappings"}
+    unknown = set(doc) - known
+    if unknown:
+        raise ApiError(400, "bad-request", f"unknown payload field(s) {sorted(unknown)}")
+
+    app = _resolve_app(service, doc.get("app"))
+    seed = doc.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ApiError(400, "bad-request", "payload field 'seed' must be an integer")
+    options_from_dict(doc.get("options"))  # fail fast; worker re-parses
+
+    cluster_nodes = set(service.cluster.node_ids())
+    payload: dict = {"app": app, "seed": seed, "options": doc.get("options")}
+
+    if kind == "schedule":
+        scheduler = doc.get("scheduler", "cs")
+        if not isinstance(scheduler, str) or scheduler.lower() not in SCHEDULERS:
+            raise ApiError(
+                400,
+                "bad-request",
+                f"unknown scheduler {scheduler!r}; valid: {', '.join(sorted(SCHEDULERS))}",
+            )
+        if "pool" in doc and "arch" in doc:
+            raise ApiError(400, "bad-request", "give either 'pool' or 'arch', not both")
+        if "pool" in doc:
+            pool = _node_list(doc["pool"], "pool")
+            unknown_nodes = sorted(set(pool) - cluster_nodes)
+            if unknown_nodes:
+                raise ApiError(
+                    400, "bad-request", f"pool contains unknown node(s) {unknown_nodes[:5]}"
+                )
+        elif "arch" in doc:
+            try:
+                pool = service.cluster.nodes_by_arch(doc["arch"])
+            except (KeyError, AttributeError):
+                raise ApiError(
+                    400, "bad-request", f"no nodes of architecture {doc['arch']!r}"
+                ) from None
+        else:
+            pool = service.cluster.node_ids()
+        payload.update(scheduler=scheduler.lower(), pool=pool)
+    elif kind == "predict":
+        nodes = _node_list(doc.get("nodes"), "nodes")
+        unknown_nodes = sorted(set(nodes) - cluster_nodes)
+        if unknown_nodes:
+            raise ApiError(
+                400, "bad-request", f"mapping uses unknown node(s) {unknown_nodes[:5]}"
+            )
+        payload.update(nodes=nodes)
+    else:  # compare
+        mappings = doc.get("mappings")
+        if not isinstance(mappings, list) or not mappings:
+            raise ApiError(400, "bad-request", "mappings must be a non-empty list of node-id lists")
+        checked = []
+        for i, candidate in enumerate(mappings):
+            nodes = _node_list(candidate, f"mappings[{i}]")
+            unknown_nodes = sorted(set(nodes) - cluster_nodes)
+            if unknown_nodes:
+                raise ApiError(
+                    400,
+                    "bad-request",
+                    f"mappings[{i}] uses unknown node(s) {unknown_nodes[:5]}",
+                )
+            checked.append(nodes)
+        payload.update(mappings=checked)
+    return kind, payload
+
+
+# -- outbound -----------------------------------------------------------
+def schedule_result_to_dict(result: ScheduleResult) -> dict:
+    return {
+        "scheduler": result.scheduler,
+        "mapping": list(result.mapping.as_tuple()),
+        "predicted_time": result.predicted_time,
+        "evaluations": result.evaluations,
+        "wall_time_s": result.wall_time_s,
+    }
+
+
+def prediction_to_dict(prediction: MappingPrediction) -> dict:
+    critical = prediction.breakdown(prediction.critical_rank)
+    return {
+        "mapping": list(prediction.mapping.as_tuple()),
+        "execution_time": prediction.execution_time,
+        "critical_rank": prediction.critical_rank,
+        "critical_breakdown": {
+            "node": critical.node_id,
+            "computation": critical.computation,
+            "communication": critical.communication,
+        },
+        "processes": [
+            {
+                "rank": p.rank,
+                "node": p.node_id,
+                "computation": p.computation,
+                "communication": p.communication,
+            }
+            for p in prediction.processes
+        ],
+    }
+
+
+def snapshot_to_dict(snapshot: SystemSnapshot) -> dict:
+    return {
+        "timestamp": snapshot.timestamp,
+        "fingerprint": snapshot.fingerprint(),
+        "nodes": {
+            nid: {
+                "background_load": state.background_load,
+                "nic_load": state.nic_load,
+                "ncpus": snapshot.ncpus.get(nid, 1),
+            }
+            for nid, state in sorted(snapshot.states.items())
+        },
+    }

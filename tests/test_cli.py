@@ -99,3 +99,45 @@ class TestCommands:
     def test_rs_scheduler_option(self, db_dir, capsys):
         assert self.run(db_dir, "schedule", "lu.S", "--scheduler", "rs") == 0
         assert "RS" in capsys.readouterr().out
+
+
+class TestServerParser:
+    """Parsing for the daemon-facing subcommands (serve / submit / jobs)."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 2
+        assert args.queue_limit == 16
+        assert args.job_ttl == 600.0
+        assert args.refresh_interval == 10.0
+        assert args.monitor is True
+        assert args.log_level == "info"
+
+    def test_serve_no_monitor(self):
+        args = build_parser().parse_args(["serve", "--no-monitor", "--port", "0"])
+        assert args.monitor is False
+        assert args.port == 0
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "lu.S"])
+        assert args.kind == "schedule"
+        assert args.scheduler == "cs"
+        assert args.no_wait is False
+
+    def test_submit_predict_requires_known_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "lu.S", "--kind", "juggle"])
+
+    def test_jobs_optional_id(self):
+        assert build_parser().parse_args(["jobs"]).job_id is None
+        assert build_parser().parse_args(["jobs", "j000001"]).job_id == "j000001"
+
+    def test_submit_unreachable_daemon_exits(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "lu.S", "--port", "1", "--timeout", "1"])
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--log-level", "shouty"])

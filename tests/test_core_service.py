@@ -53,6 +53,24 @@ class TestLifecycle:
         snap = service.snapshot()  # auto-polls once
         assert snap.acpu(service.cluster.node_ids()[0]) > 0
 
+    def test_start_monitoring_is_idempotent(self, service):
+        first = service.start_monitoring(forecaster="last-value")
+        second = service.start_monitoring(forecaster="mean", seed=7)
+        assert second is first  # repeated starts reuse the attached daemons
+
+    def test_stop_monitoring_detaches(self, service):
+        assert not service.is_monitoring
+        service.stop_monitoring()  # no-op before start
+        assert not service.is_monitoring
+        first = service.start_monitoring(forecaster="last-value")
+        assert service.is_monitoring
+        service.stop_monitoring()
+        assert not service.is_monitoring
+        with pytest.raises(NotCalibratedError):
+            _ = service.monitor
+        # A fresh start after stop attaches new daemons.
+        assert service.start_monitoring(forecaster="last-value") is not first
+
 
 class TestProfiles:
     def test_profile_registration(self, service, app):

@@ -27,6 +27,7 @@ class TestExampleInventory:
             "custom_cluster.py",
             "segment_scheduling.py",
             "multi_tenant.py",
+            "service_daemon.py",
         }
         assert expected <= set(ALL_EXAMPLES)
 

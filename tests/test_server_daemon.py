@@ -1,0 +1,347 @@
+"""Integration tests for the scheduling daemon.
+
+An in-process daemon (dedicated thread + event loop, ephemeral port) is
+exercised through the blocking ``repro.server.client`` — the same
+protocol round-trip an external scheduler client would make: submit,
+poll, backpressure, drain, and snapshot refresh.
+"""
+
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.schedulers import CbesScheduler
+from repro.server import BackpressureError, DaemonThread, JobFailed, JobState, ServerError
+from repro.workloads import SyntheticBenchmark
+
+
+def make_service() -> tuple[CBES, str]:
+    """A calibrated 6-node service with one profiled application."""
+    service = CBES(single_switch("mini", 6))
+    service.calibrate(seed=2)
+    app = SyntheticBenchmark(comm_fraction=0.2, duration_s=2.0, steps=4)
+    service.profile_application(app, 3, seed=1)
+    return service, app.name
+
+
+@pytest.fixture(scope="module")
+def service_and_app():
+    return make_service()
+
+
+@pytest.fixture(scope="module")
+def server(service_and_app):
+    service, _ = service_and_app
+    with DaemonThread(service, workers=2, queue_limit=8) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return server.client()
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["queue_limit"] == 8
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+        assert health["monitoring"] is False
+
+    def test_profiles(self, client, service_and_app):
+        _, app_name = service_and_app
+        assert client.profiles() == [app_name]
+
+    def test_snapshot_matches_service(self, client, service_and_app):
+        service, _ = service_and_app
+        snapshot = client.snapshot()
+        assert snapshot["fingerprint"] == service.snapshot().fingerprint()
+        assert set(snapshot["nodes"]) == set(service.cluster.node_ids())
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/v2/nothing")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.job("j999999")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/v1/healthz", {"x": 1})
+        assert excinfo.value.status == 405
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"kind": "juggle"}, "kind"),
+            ({"kind": "schedule", "app": "ghost"}, "no stored profile"),
+            ({"kind": "schedule", "app": "APP", "scheduler": "magic"}, "unknown scheduler"),
+            ({"kind": "schedule", "app": "APP", "pool": []}, "non-empty"),
+            ({"kind": "schedule", "app": "APP", "pool": ["mars-1"]}, "unknown node"),
+            ({"kind": "schedule", "app": "APP", "pool": ["mini-n00"], "arch": "x"}, "not both"),
+            ({"kind": "schedule", "app": "APP", "arch": "warp-drive"}, "architecture"),
+            ({"kind": "schedule", "app": "APP", "seed": "seven"}, "seed"),
+            ({"kind": "schedule", "app": "APP", "options": {"warp": True}}, "option"),
+            ({"kind": "schedule", "app": "APP", "options": {"communication": 3}}, "boolean"),
+            ({"kind": "predict", "app": "APP"}, "nodes"),
+            ({"kind": "predict", "app": "APP", "nodes": ["mars-1"]}, "unknown node"),
+            ({"kind": "compare", "app": "APP", "mappings": []}, "non-empty"),
+            ({"kind": "schedule", "app": "APP", "frobnicate": 1}, "unknown payload field"),
+        ],
+    )
+    def test_bad_submissions_rejected_400(self, client, service_and_app, payload, fragment):
+        _, app_name = service_and_app
+        if payload.get("app") == "APP":
+            payload = {**payload, "app": app_name}
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/v1/jobs", payload)
+        assert excinfo.value.status == 400
+        assert fragment in str(excinfo.value)
+
+    def test_malformed_json_400(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.request("POST", "/v1/jobs", b"{nope", {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_app_name_resolves_case_insensitively(self, client, service_and_app):
+        _, app_name = service_and_app
+        job = client.submit("predict", app=app_name.upper(), nodes=["mini-n00", "mini-n01", "mini-n02"])
+        done = client.wait(job["id"], timeout_s=30)
+        assert done["result"]["execution_time"] > 0
+
+
+class TestJobRoundTrip:
+    def test_schedule_matches_direct_call(self, client, service_and_app):
+        """Acceptance: remote CS job == CBES.schedule() with the same seed."""
+        service, app_name = service_and_app
+        pool = service.cluster.node_ids()
+        direct = service.schedule(app_name, CbesScheduler(), pool, seed=5)
+        remote = client.schedule(app_name, scheduler="cs", pool=pool, seed=5)
+        assert remote["mapping"] == list(direct.mapping.as_tuple())
+        assert remote["predicted_time"] == pytest.approx(direct.predicted_time, abs=1e-12)
+        assert remote["scheduler"] == "CS"
+        assert remote["evaluations"] > 0
+
+    def test_predict_matches_direct_call(self, client, service_and_app):
+        service, app_name = service_and_app
+        nodes = service.cluster.node_ids()[:3]
+        direct = service.evaluator(app_name).predict(TaskMapping(nodes))
+        remote = client.predict(app_name, nodes)
+        assert remote["execution_time"] == pytest.approx(direct.execution_time, abs=1e-12)
+        assert remote["critical_rank"] == direct.critical_rank
+        assert [p["node"] for p in remote["processes"]] == nodes
+
+    def test_compare_ranks_fastest_first(self, client, service_and_app):
+        service, app_name = service_and_app
+        ids = service.cluster.node_ids()
+        ranked = client.compare(app_name, [ids[:3], ids[3:6]])
+        assert len(ranked) == 2
+        assert ranked[0]["execution_time"] <= ranked[1]["execution_time"]
+
+    def test_job_document_lifecycle_fields(self, client, service_and_app):
+        service, app_name = service_and_app
+        job = client.submit("predict", app=app_name, nodes=service.cluster.node_ids()[:3])
+        assert job["state"] in ("queued", "running")
+        assert job["request_id"]
+        done = client.wait(job["id"], timeout_s=30)
+        assert done["started_at"] >= done["created_at"]
+        assert done["finished_at"] >= done["started_at"]
+        assert done["id"] in {j["id"] for j in client.jobs()}
+
+    def test_runtime_failure_becomes_failed_job(self, client, service_and_app):
+        """A pool too small for the profile fails the job, not the daemon."""
+        service, app_name = service_and_app
+        job = client.submit("schedule", app=app_name, pool=service.cluster.node_ids()[:2])
+        with pytest.raises(JobFailed, match="cannot host"):
+            client.wait(job["id"], timeout_s=30)
+        health = client.healthz()
+        assert health["status"] == "ok"  # daemon survived
+
+    def test_schedule_context_is_cached_and_reused(self, server, client, service_and_app):
+        service, app_name = service_and_app
+        client.schedule(app_name, scheduler="cs", seed=1)
+        daemon = server.daemon
+        with daemon._ctx_lock:
+            contexts = dict(daemon._contexts)
+        assert contexts, "schedule job should cache an EvaluationContext"
+        fingerprint = service.snapshot().fingerprint()
+        assert all(ctx.snapshot_fingerprint == fingerprint for ctx in contexts.values())
+
+
+class TestBackpressure:
+    def test_full_queue_gets_429_with_retry_after(self):
+        service, app_name = make_service()
+        release = threading.Event()
+        running = threading.Event()
+
+        def blocked_execute(job):
+            running.set()
+            if not release.wait(timeout=30):
+                raise RuntimeError("test never released the worker")
+            return {"ok": True}
+
+        srv = DaemonThread(service, workers=1, queue_limit=1)
+        srv.daemon._execute = blocked_execute
+        try:
+            with srv:
+                client = srv.client()
+                nodes = service.cluster.node_ids()[:3]
+                first = client.submit("predict", app=app_name, nodes=nodes)
+                assert running.wait(timeout=10), "worker never picked up the first job"
+                second = client.submit("predict", app=app_name, nodes=nodes)  # fills the queue
+                with pytest.raises(BackpressureError) as excinfo:
+                    client.submit("predict", app=app_name, nodes=nodes)
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after_s > 0
+                # The rejected submission left nothing behind.
+                assert {j["id"] for j in client.jobs()} == {first["id"], second["id"]}
+                release.set()
+                assert client.wait(first["id"], timeout_s=30)["result"] == {"ok": True}
+                assert client.wait(second["id"], timeout_s=30)["result"] == {"ok": True}
+        finally:
+            release.set()
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_inflight_jobs(self):
+        """request_shutdown (what SIGTERM triggers) finishes accepted work."""
+        service, app_name = make_service()
+
+        def slow_execute(job):
+            time.sleep(0.2)
+            return {"ok": True}
+
+        srv = DaemonThread(service, workers=1, queue_limit=4)
+        srv.daemon._execute = slow_execute
+        with srv:
+            client = srv.client()
+            nodes = service.cluster.node_ids()[:3]
+            first = client.submit("predict", app=app_name, nodes=nodes)
+            second = client.submit("predict", app=app_name, nodes=nodes)
+            srv.shutdown()  # request + drain + join, like SIGTERM
+            store = srv.daemon.store
+            assert store.get(first["id"]).state is JobState.DONE
+            assert store.get(second["id"]).state is JobState.DONE
+            with pytest.raises(OSError):
+                client.healthz()  # listener is gone
+
+
+class TestSnapshotRefresh:
+    def test_refresh_sees_load_and_invalidates_contexts(self):
+        service, app_name = make_service()
+        service.start_monitoring(forecaster="last-value", sensor_noise=0.0, seed=0)
+        loaded_node = service.cluster.node_ids()[0]
+        try:
+            with DaemonThread(service, workers=1, queue_limit=8, refresh_interval_s=0.05) as srv:
+                client = srv.client()
+                first = client.schedule(app_name, scheduler="cs", seed=3)
+                service.cluster.node(loaded_node).set_background_load(1.5)
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    snapshot = client.snapshot()
+                    if snapshot["nodes"][loaded_node]["background_load"] > 1.0:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("refresh loop never picked up the injected load")
+                assert client.healthz()["snapshot_refreshes"] >= 1
+                # Contexts built against the pre-load snapshot are gone.
+                daemon = srv.daemon
+                with daemon._ctx_lock:
+                    stale = [
+                        ctx
+                        for ctx in daemon._contexts.values()
+                        if ctx.snapshot_fingerprint == first["snapshot_fingerprint"]
+                    ]
+                assert not stale
+                # New work is served against the fresher snapshot.
+                second = client.schedule(app_name, scheduler="cs", seed=3)
+                assert second["snapshot_fingerprint"] != first["snapshot_fingerprint"]
+        finally:
+            service.cluster.node(loaded_node).set_background_load(0.0)
+
+    def test_monitor_restarted_after_refresh_failure(self):
+        service, _ = make_service()
+        monitor_kwargs = {"forecaster": "last-value", "sensor_noise": 0.0, "seed": 0}
+        original = service.start_monitoring(**monitor_kwargs)
+        srv = DaemonThread(
+            service,
+            workers=1,
+            queue_limit=2,
+            refresh_interval_s=0.05,
+            monitor_kwargs=monitor_kwargs,
+        )
+
+        def broken_poll():
+            raise RuntimeError("sensor exploded")
+
+        srv.daemon._poll_snapshot = broken_poll
+        with srv:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.monitor is original:
+                time.sleep(0.05)
+            assert service.is_monitoring
+            assert service.monitor is not original, "monitor was not restarted"
+
+
+class TestServeSubprocess:
+    """The real thing: `repro serve` in a subprocess, killed with SIGTERM."""
+
+    @pytest.fixture(scope="class")
+    def db_dir(self, tmp_path_factory):
+        from repro.cli import main
+
+        db = str(tmp_path_factory.mktemp("cbes-serve-db"))
+        assert main(["--db", db, "calibrate"]) == 0
+        assert main(["--db", db, "profile", "lu.S", "--nprocs", "4"]) == 0
+        return db
+
+    def test_serve_submit_sigterm_roundtrip(self, db_dir):
+        from repro.cli import main
+
+        repo_root = Path(__file__).resolve().parent.parent
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "--db", db_dir,
+                "serve", "--port", "0", "--workers", "1", "--log-level", "warning",
+            ],
+            cwd=repo_root,
+            env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert banner.startswith("serving on http://"), (banner, proc.stderr.read() if proc.poll() is not None else "")
+            port = int(banner.rstrip().rsplit(":", 1)[1])
+            rc = main(
+                ["submit", "lu.S", "--port", str(port), "--scheduler", "cs", "--arch", "alpha-533"]
+            )
+            assert rc == 0
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

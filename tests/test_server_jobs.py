@@ -1,0 +1,135 @@
+"""Unit tests for the daemon's job store (lifecycle + TTL eviction)."""
+
+import pytest
+
+from repro.server.jobs import JobState, JobStateError, JobStore
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock):
+    return JobStore(ttl_s=10.0, clock=clock)
+
+
+class TestLifecycle:
+    def test_create_assigns_unique_ids(self, store):
+        a = store.create("schedule", {"app": "lu.A"})
+        b = store.create("predict", {"app": "lu.A"})
+        assert a.id != b.id
+        assert a.state is JobState.QUEUED
+        assert store.get(a.id) is a
+        assert [j.id for j in store.list()] == [a.id, b.id]
+
+    def test_happy_path_transitions(self, store, clock):
+        job = store.create("schedule", {})
+        clock.advance(1.0)
+        store.mark_running(job.id)
+        assert job.state is JobState.RUNNING
+        assert job.started_at == 1.0
+        clock.advance(2.0)
+        store.mark_done(job.id, {"predicted_time": 4.2})
+        assert job.state is JobState.DONE
+        assert job.finished_at == 3.0
+        assert job.result == {"predicted_time": 4.2}
+
+    def test_failure_records_error(self, store):
+        job = store.create("schedule", {})
+        store.mark_running(job.id)
+        store.mark_failed(job.id, "boom")
+        assert job.state is JobState.FAILED
+        assert job.error == "boom"
+        assert "error" in job.to_dict()
+
+    def test_queued_job_may_fail_directly(self, store):
+        # A drain deadline can expire before a worker picks the job up.
+        job = store.create("schedule", {})
+        store.mark_failed(job.id, "daemon shut down")
+        assert job.state is JobState.FAILED
+
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            ["done"],                      # queued -> done skips running
+            ["running", "running"],        # double start
+            ["running", "done", "done"],   # double finish
+            ["running", "done", "failed"], # finish then fail
+            ["running", "failed", "running"],
+        ],
+    )
+    def test_illegal_transitions_raise(self, store, sequence):
+        job = store.create("schedule", {})
+        marks = {
+            "running": store.mark_running,
+            "done": lambda jid: store.mark_done(jid, {}),
+            "failed": lambda jid: store.mark_failed(jid, "x"),
+        }
+        with pytest.raises(JobStateError):
+            for step in sequence:
+                marks[step](job.id)
+
+    def test_unknown_job_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.get("j999999")
+        with pytest.raises(KeyError):
+            store.mark_running("j999999")
+
+    def test_discard_forgets_job(self, store):
+        job = store.create("schedule", {})
+        store.discard(job.id)
+        with pytest.raises(KeyError):
+            store.get(job.id)
+        store.discard(job.id)  # idempotent
+
+    def test_counts(self, store):
+        a = store.create("schedule", {})
+        store.create("schedule", {})
+        store.mark_running(a.id)
+        assert store.counts() == {"queued": 1, "running": 1, "done": 0, "failed": 0}
+
+
+class TestTtlEviction:
+    def test_finished_jobs_expire(self, store, clock):
+        job = store.create("schedule", {})
+        store.mark_running(job.id)
+        store.mark_done(job.id, {})
+        clock.advance(9.9)
+        assert store.evict_expired() == 0
+        assert len(store) == 1
+        clock.advance(0.2)
+        assert store.evict_expired() == 1
+        with pytest.raises(KeyError):
+            store.get(job.id)
+
+    def test_pending_jobs_never_expire(self, store, clock):
+        queued = store.create("schedule", {})
+        running = store.create("schedule", {})
+        store.mark_running(running.id)
+        clock.advance(1e6)
+        assert store.evict_expired() == 0
+        assert store.get(queued.id) is queued
+        assert store.get(running.id) is running
+
+    def test_failed_jobs_expire_too(self, store, clock):
+        job = store.create("schedule", {})
+        store.mark_failed(job.id, "x")
+        clock.advance(11.0)
+        assert store.evict_expired() == 1
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            JobStore(ttl_s=0.0)
