@@ -169,7 +169,17 @@ def resolve_app_name(service: CBES, spec: str) -> str:
 def cmd_schedule(args) -> int:
     service, _ = open_service(args)
     app_name = resolve_app_name(service, args.app)
-    scheduler = SCHEDULERS[args.scheduler]()
+    kwargs: dict = {}
+    if args.islands > 1:
+        if args.scheduler != "ga":
+            raise SystemExit("error: --islands requires --scheduler ga")
+        kwargs["islands"] = args.islands
+    try:
+        scheduler = SCHEDULERS[args.scheduler](
+            parallel=args.parallel, time_budget=args.time_budget, **kwargs
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     result = service.schedule(app_name, scheduler, _pool(service, args), seed=args.seed)
     print(f"scheduler: {result.scheduler} ({result.evaluations} evaluations, "
           f"{result.wall_time_s:.2f}s)")
@@ -281,6 +291,10 @@ def cmd_submit(args) -> int:
             payload["pool"] = nodes
         elif args.arch:
             payload["arch"] = args.arch
+        if args.workers is not None:
+            payload["workers"] = args.workers
+        if args.time_budget is not None:
+            payload["time_budget"] = args.time_budget
     else:  # predict
         if not nodes:
             raise SystemExit("error: `submit --kind predict` requires --nodes")
@@ -374,6 +388,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app")
     p.add_argument("--scheduler", default="cs", choices=sorted(SCHEDULERS))
     p.add_argument("--arch", default=None, help="restrict the pool to one architecture")
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="search worker processes (SA restarts / GA islands fan out)",
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; returns the best-so-far at expiry",
+    )
+    p.add_argument(
+        "--islands",
+        type=int,
+        default=1,
+        help="GA island populations with ring migration (ga scheduler only)",
+    )
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("predict", help="evaluate an explicit mapping")
@@ -423,6 +455,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--nodes",
         default=None,
         help="comma-separated node ids (the pool for schedule, the mapping for predict)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="search worker processes for schedule jobs",
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for schedule jobs",
     )
     p.add_argument("--no-wait", action="store_true", help="print the job id and return")
     p.set_defaults(func=cmd_submit)

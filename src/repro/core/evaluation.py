@@ -130,6 +130,21 @@ class MappingEvaluator:
         return self._options
 
     @property
+    def latency_model(self) -> LatencyModel:
+        """The calibrated latency model this evaluator reads."""
+        return self._latency
+
+    @property
+    def nodes(self) -> MappingABC[str, Node]:
+        """The static node table of the cluster."""
+        return self._nodes
+
+    @property
+    def snapshot(self) -> SystemSnapshot:
+        """The resource-availability snapshot evaluations are served from."""
+        return self._snapshot
+
+    @property
     def evaluations(self) -> int:
         """Number of evaluations served (scheduler cost metric).
 

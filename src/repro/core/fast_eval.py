@@ -177,6 +177,23 @@ class EvaluationContext:
         #: Scalar no-load latency memo keyed by (src_idx, dst_idx, size).
         self._noload_cache: dict[tuple[int, int, float], float] = {}
 
+    # -- pickling -------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the scalar latency memo.
+
+        Parallel search workers receive contexts (or rebuild them from
+        snapshots); the ``_noload_cache`` memo is pure per-process warm
+        state that can grow to one entry per (pair, size) — shipping it
+        would dominate the pickle for long-lived contexts and buys the
+        receiver nothing it cannot rebuild lazily.
+        """
+        state = dict(self.__dict__)
+        state["_noload_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- queries --------------------------------------------------------
     def is_valid_for(self, snapshot: SystemSnapshot) -> bool:
         """Whether this context may serve evaluations under *snapshot*."""

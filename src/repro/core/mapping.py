@@ -101,6 +101,16 @@ class TaskMapping:
         return TaskMapping(nodes)
 
     # -- dunder ----------------------------------------------------------------
+    def __reduce__(self):
+        """Pickle by node sequence, never by cached state.
+
+        ``_hash`` caches ``hash()`` of the node tuple, and string hashing
+        is salted per interpreter run — a mapping shipped to another
+        process must recompute it there or equal mappings would disagree
+        in sets and dicts.
+        """
+        return (TaskMapping, (self._nodes,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, TaskMapping) and self._nodes == other._nodes
 

@@ -121,6 +121,24 @@ class SystemSnapshot:
             ncpus=dict(self.ncpus),
         )
 
+    # -- pickling -------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as plain dicts, however exotic the source mappings.
+
+        Snapshots cross process boundaries when parallel search workers
+        rebuild their own evaluation contexts; shipping caller-owned
+        mapping views (or anything non-picklable they alias) must never
+        be what decides whether a snapshot can travel.
+        """
+        return {
+            "timestamp": self.timestamp,
+            "states": {nid: self.states[nid] for nid in self.states},
+            "ncpus": dict(self.ncpus),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def with_load(self, node_id: str, background_load: float, nic_load: float | None = None) -> "SystemSnapshot":
         """A copy with one node's state replaced (what-if analysis)."""
         states = dict(self.states)

@@ -19,15 +19,34 @@ neighbour costs only a delta evaluation of the ranks the move touched.
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.mapping import TaskMapping
 from repro.schedulers.moves import MoveGenerator
 
-__all__ = ["AnnealingSchedule", "anneal", "supports_incremental"]
+__all__ = ["AnnealingSchedule", "CostBound", "anneal", "supports_incremental"]
+
+
+@runtime_checkable
+class CostBound(Protocol):
+    """A best-so-far bound shared between concurrent annealing chains.
+
+    Works in *cost* space (the sign-adjusted energy the annealer
+    minimizes), so one bound serves both search directions.  The
+    parallel portfolio backs this with a ``multiprocessing`` value so
+    chains in different worker processes can cut each other short.
+    """
+
+    def update(self, cost: float) -> None:
+        """Publish this chain's best cost so far."""
+
+    def should_prune(self, cost: float) -> bool:
+        """Whether a chain currently at *cost* can no longer win."""
 
 
 def supports_incremental(energy: object) -> bool:
@@ -75,12 +94,21 @@ def anneal(
     schedule: AnnealingSchedule = AnnealingSchedule(),
     feasible: Callable[[TaskMapping], bool] | None = None,
     direction: str = "minimize",
+    deadline: float | None = None,
+    bound: CostBound | None = None,
 ) -> tuple[TaskMapping, float, list[float]]:
     """Run one simulated-annealing search.
 
     Returns ``(best_mapping, best_energy, history)`` where *history*
     records the best energy after each temperature step.  Infeasible
     neighbours (per *feasible*) are rejected outright.
+
+    *deadline* is an absolute :func:`time.monotonic` instant; once it
+    passes, the search stops at the next temperature-step boundary and
+    returns its best-so-far (never an exception).  *bound* is a shared
+    best-so-far :class:`CostBound`; the chain publishes its best cost
+    after every temperature step and abandons the cooling schedule when
+    the bound says it can no longer win.
     """
     if direction not in ("minimize", "maximize"):
         raise ValueError("direction must be 'minimize' or 'maximize'")
@@ -117,7 +145,13 @@ def anneal(
 
     history: list[float] = []
     stale = 0
+    if bound is not None:
+        bound.update(best_cost)
     for _ in range(schedule.steps):
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        if bound is not None and bound.should_prune(best_cost):
+            break
         improved = False
         for _ in range(schedule.moves_per_temperature):
             candidate = moves.neighbour(current, rng)
@@ -139,6 +173,8 @@ def anneal(
         history.append(sign * best_cost)
         temperature *= schedule.cooling
         stale = 0 if improved else stale + 1
+        if bound is not None:
+            bound.update(best_cost)
         if stale >= schedule.patience:
             break
     return best, sign * best_cost, history

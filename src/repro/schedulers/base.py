@@ -43,13 +43,69 @@ class ScheduleResult:
 
 
 class Scheduler(ABC):
-    """Base class for CBES-attached schedulers."""
+    """Base class for CBES-attached schedulers.
+
+    Every scheduler accepts the *execution* options of the parallel
+    search engine (:mod:`repro.search`): ``parallel`` worker processes
+    and an optional ``time_budget`` in seconds.  Schedulers that have
+    nothing to parallelize (RS, greedy) accept and ignore them, so the
+    registry, the daemon, and the CLI can set them uniformly.
+    """
 
     #: Human-readable scheduler tag (CS / NCS / RS / ...).
     name: str = "scheduler"
 
-    def __init__(self, *, constraint: MappingConstraint | None = None):
+    def __init__(
+        self,
+        *,
+        constraint: MappingConstraint | None = None,
+        parallel: int = 1,
+        time_budget: float | None = None,
+        mp_context: str | None = None,
+    ):
         self._constraint = constraint
+        self._parallel = 1
+        self._time_budget: float | None = None
+        self._mp_context: str | None = None
+        self.set_execution(parallel=parallel, time_budget=time_budget, mp_context=mp_context)
+
+    def set_execution(
+        self,
+        *,
+        parallel: int | None = None,
+        time_budget: float | None = None,
+        mp_context: str | None = None,
+    ) -> "Scheduler":
+        """Adjust the execution options in place; returns ``self``."""
+        if parallel is not None:
+            if not isinstance(parallel, int) or isinstance(parallel, bool) or parallel < 1:
+                raise ValueError(f"parallel must be an integer >= 1, got {parallel!r}")
+            self._parallel = parallel
+        if time_budget is not None:
+            if not isinstance(time_budget, (int, float)) or isinstance(time_budget, bool):
+                raise ValueError(f"time_budget must be a number of seconds, got {time_budget!r}")
+            if time_budget <= 0:
+                raise ValueError(f"time_budget must be > 0 seconds, got {time_budget!r}")
+            self._time_budget = float(time_budget)
+        if mp_context is not None:
+            self._mp_context = mp_context
+        return self
+
+    @property
+    def parallel(self) -> int:
+        """How many worker processes the search may fan out over."""
+        return self._parallel
+
+    @property
+    def time_budget(self) -> float | None:
+        """Optional wall-clock budget (seconds) for one schedule() call."""
+        return self._time_budget
+
+    def _deadline(self) -> float | None:
+        """The absolute monotonic deadline for a run starting now."""
+        if self._time_budget is None:
+            return None
+        return time.monotonic() + self._time_budget
 
     def feasible(self, mapping: TaskMapping) -> bool:
         """Whether a mapping satisfies the attached constraint."""

@@ -5,10 +5,11 @@ from __future__ import annotations
 
 from repro.core.evaluation import EvaluationOptions, MappingEvaluator
 from repro.core.fast_eval import FastEvalUnavailable
-from repro.core.mapping import TaskMapping
-from repro.schedulers.annealing import AnnealingSchedule, anneal
-from repro.schedulers.base import MappingConstraint, Scheduler, make_rng
-from repro.schedulers.moves import MoveGenerator
+from repro.schedulers.annealing import AnnealingSchedule
+from repro.schedulers.base import MappingConstraint, Scheduler
+from repro.search.portfolio import ParallelPortfolio
+from repro.search.spec import SearchSpec
+from repro.search.worker import SaTask
 
 __all__ = ["CbesScheduler"]
 
@@ -22,6 +23,14 @@ class CbesScheduler(Scheduler):
 
     ``direction="maximize"`` turns it into the worst-case finder used by
     the worst-vs-best scenario tests.
+
+    Restarts run as a portfolio (:mod:`repro.search`): each restart owns
+    a seed substream, so results are independent of the restart count of
+    the *other* restarts and of the ``parallel`` degree — ``parallel=1``
+    and ``parallel=N`` return byte-identical mappings for one seed.
+    ``share_bound=True`` lets concurrent restarts prune each other
+    through a shared best-so-far (a throughput heuristic that trades
+    away that strict determinism).
     """
 
     name = "CS"
@@ -33,15 +42,20 @@ class CbesScheduler(Scheduler):
         direction: str = "minimize",
         swap_probability: float = 0.5,
         restarts: int = 2,
+        share_bound: bool = False,
         constraint: MappingConstraint | None = None,
+        **execution,
     ):
-        super().__init__(constraint=constraint)
+        super().__init__(constraint=constraint, **execution)
         if restarts < 1:
             raise ValueError("restarts must be >= 1")
+        if direction not in ("minimize", "maximize"):
+            raise ValueError("direction must be 'minimize' or 'maximize'")
         self._schedule = schedule
         self._direction = direction
         self._swap_p = swap_probability
         self._restarts = restarts
+        self._share_bound = share_bound
 
     #: Options the annealer's energy uses; None means the evaluator's own.
     energy_options: EvaluationOptions | None = None
@@ -56,63 +70,60 @@ class CbesScheduler(Scheduler):
     use_fast_path: bool = True
 
     def _run(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
-        rng = make_rng(seed, self.name, tuple(pool), evaluator.profile.app_name)
-        moves = MoveGenerator(pool, swap_probability=self._swap_p)
-
-        energy = None
-        if self.use_fast_path:
-            try:
-                energy = evaluator.incremental(self.energy_options)
-            except FastEvalUnavailable:
-                energy = None
-        if energy is None:
-
-            def energy(mapping: TaskMapping) -> float:
-                return evaluator.execution_time(mapping, options=self.energy_options)
-
-        sign = 1.0 if self._direction == "minimize" else -1.0
-        best = None
-        best_energy = float("inf")
-        history: list[float] = []
+        options = (
+            self.energy_options if self.energy_options is not None else evaluator.options
+        )
+        spec = SearchSpec.from_evaluator(
+            evaluator,
+            pool,
+            options=options,
+            use_fast_path=self.use_fast_path,
+            constraint=self._constraint,
+        )
+        deadline = self._deadline()
         # Independent restarts guard against the two-basin landscapes a
         # federated cluster produces (a whole side can be a local
         # optimum); the first restart starts from the fastest-nodes
         # greedy construction, the rest from random mappings.
-        for attempt in range(self._restarts):
-            start = None
-            if attempt == 0 and self._direction == "minimize" and self.use_greedy_start:
-                start = self._greedy_start(evaluator, pool)
-            if start is None:
-                start = self._initial_mapping(evaluator, pool, rng)
-            candidate, candidate_energy, hist = anneal(
-                energy,
-                start,
-                moves,
-                rng,
+        tasks = [
+            SaTask(
+                index=attempt,
+                seed=seed,
+                rng_parts=(
+                    self.name,
+                    tuple(pool),
+                    evaluator.profile.app_name,
+                    "restart",
+                    attempt,
+                ),
                 schedule=self._schedule,
-                feasible=self.feasible,
+                swap_probability=self._swap_p,
+                greedy_start=(
+                    attempt == 0
+                    and self._direction == "minimize"
+                    and self.use_greedy_start
+                ),
                 direction=self._direction,
+                deadline=deadline,
             )
-            history.extend(hist)
-            if best is None or sign * candidate_energy < sign * best_energy:
-                best, best_energy = candidate, candidate_energy
-        assert best is not None
+            for attempt in range(self._restarts)
+        ]
+        # The inline path reuses the evaluator's cached context so a
+        # serial scheduler keeps its zero-setup-cost fast path.
+        context = None
+        if self.parallel == 1 and self.use_fast_path:
+            try:
+                context = evaluator.fast_context(options)
+            except FastEvalUnavailable:
+                context = None
+        portfolio = ParallelPortfolio(
+            self.parallel,
+            mp_context=self._mp_context,
+            share_bound=self._share_bound,
+        )
+        result = portfolio.run_sa(spec, tasks, direction=self._direction, context=context)
+        evaluator.record_evaluations(result.evaluations)
         # Report the *full* predicted time for the chosen mapping even if
         # the search annealed on a reduced energy (NCS).
-        predicted = evaluator.execution_time(best)
-        return best, predicted, history
-
-    def _greedy_start(self, evaluator: MappingEvaluator, pool: list[str]) -> TaskMapping | None:
-        """Fastest-available-nodes construction, if it is feasible."""
-        profile = evaluator.profile
-        nodes = evaluator._nodes  # noqa: SLF001 - package-internal
-        snapshot = evaluator._snapshot  # noqa: SLF001
-        ranked = sorted(
-            pool,
-            key=lambda nid: (
-                -nodes[nid].speed_for(profile.arch_speed_ratios) * snapshot.acpu(nid),
-                nid,
-            ),
-        )
-        mapping = TaskMapping(ranked[: profile.nprocs])
-        return mapping if self.feasible(mapping) else None
+        predicted = evaluator.execution_time(result.mapping)
+        return result.mapping, predicted, result.history

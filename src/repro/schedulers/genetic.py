@@ -6,10 +6,17 @@ scheduling."*  This implementation uses the same CBES energy function as
 CS with a steady-state GA: tournament selection, uniform crossover with
 duplicate repair (mappings must stay one-process-per-node), and the SA
 move set as the mutation operator.
+
+With ``islands > 1`` the GA runs as an island model instead: several
+independent populations evolve in parallel worker processes and exchange
+their elites along a ring every ``migration_interval`` generations (see
+:mod:`repro.search.islands`).  The serial single-population path is
+untouched when ``islands == 1``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,7 +27,7 @@ from repro.core.mapping import TaskMapping
 from repro.schedulers.base import MappingConstraint, Scheduler, make_rng
 from repro.schedulers.moves import MoveGenerator
 
-__all__ = ["GeneticParams", "GeneticScheduler"]
+__all__ = ["GeneticParams", "GeneticScheduler", "ga_generation"]
 
 
 @dataclass(frozen=True)
@@ -51,25 +58,116 @@ class GeneticParams:
             raise ValueError("patience must be >= 1")
 
 
+def _tournament(
+    population: list[TaskMapping],
+    fitness: list[float],
+    rng: np.random.Generator,
+    size: int,
+) -> TaskMapping:
+    contenders = rng.choice(len(population), size=min(size, len(population)), replace=False)
+    winner = min(contenders, key=lambda i: fitness[int(i)])
+    return population[int(winner)]
+
+
+def _crossover(
+    a: TaskMapping, b: TaskMapping, pool: list[str], rng: np.random.Generator
+) -> TaskMapping:
+    """Uniform crossover with duplicate repair.
+
+    Genes are per-rank node choices; when the inherited gene is
+    already used by an earlier rank, repair with the other parent's
+    gene, then with a random unused pool node.
+    """
+    nprocs = a.nprocs
+    used: set[str] = set()
+    genes: list[str] = []
+    take_a = rng.random(nprocs) < 0.5
+    for rank in range(nprocs):
+        first = a.node_of(rank) if take_a[rank] else b.node_of(rank)
+        second = b.node_of(rank) if take_a[rank] else a.node_of(rank)
+        if first not in used:
+            genes.append(first)
+        elif second not in used:
+            genes.append(second)
+        else:
+            free = [n for n in pool if n not in used]
+            genes.append(free[int(rng.integers(len(free)))])
+        used.add(genes[-1])
+    return TaskMapping(genes)
+
+
+def ga_generation(
+    population: list[TaskMapping],
+    fitness: list[float],
+    fit,
+    params: GeneticParams,
+    moves: MoveGenerator,
+    pool: list[str],
+    rng: np.random.Generator,
+    feasible,
+) -> tuple[list[TaskMapping], list[float]]:
+    """One steady-state GA generation: selection, variation, evaluation.
+
+    Shared by the serial scheduler and the island-model workers so the
+    two paths cannot drift; the RNG draw order here *is* the GA's
+    deterministic contract.
+    """
+    order = np.argsort(fitness)
+    next_pop = [population[int(i)] for i in order[: params.elite]]
+    while len(next_pop) < params.population:
+        parent_a = _tournament(population, fitness, rng, params.tournament)
+        parent_b = _tournament(population, fitness, rng, params.tournament)
+        if rng.random() < params.crossover_rate:
+            child = _crossover(parent_a, parent_b, pool, rng)
+        else:
+            child = parent_a
+        if rng.random() < params.mutation_rate:
+            child = moves.neighbour(child, rng)
+        if feasible(child):
+            next_pop.append(child)
+        else:
+            next_pop.append(parent_a)
+    new_fitness = [fit(m) for m in next_pop]
+    return next_pop, new_fitness
+
+
 class GeneticScheduler(Scheduler):
     """Steady-state GA over the mapping space with the CBES energy."""
 
     name = "GA"
 
+    #: Kept as staticmethods for callers that poke the operators directly.
+    _tournament = staticmethod(_tournament)
+    _crossover = staticmethod(_crossover)
+
     def __init__(
         self,
         *,
         params: GeneticParams = GeneticParams(),
+        islands: int = 1,
+        migration_interval: int = 5,
+        migrants: int = 2,
         constraint: MappingConstraint | None = None,
+        **execution,
     ):
-        super().__init__(constraint=constraint)
+        super().__init__(constraint=constraint, **execution)
+        if islands < 1:
+            raise ValueError("islands must be >= 1")
+        if migration_interval < 1:
+            raise ValueError("migration_interval must be >= 1")
+        if not 0 < migrants < params.population:
+            raise ValueError("migrants must be in (0, population)")
         self._params = params
+        self._islands = islands
+        self._migration_interval = migration_interval
+        self._migrants = migrants
 
     def _run(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
+        if self._islands > 1:
+            return self._run_islands(evaluator, pool, seed)
         p = self._params
         rng = make_rng(seed, self.name, tuple(pool), evaluator.profile.app_name)
         moves = MoveGenerator(pool)
-        nprocs = evaluator.profile.nprocs
 
         # Population fitness uses the vectorized full evaluation of the
         # fast path (GA children have no single base mapping to delta
@@ -79,28 +177,17 @@ class GeneticScheduler(Scheduler):
         except FastEvalUnavailable:
             fit = evaluator.execution_time
 
+        deadline = self._deadline()
         population = [self._initial_mapping(evaluator, pool, rng) for _ in range(p.population)]
         fitness = [fit(m) for m in population]
         history = [min(fitness)]
         stale = 0
         for _ in range(p.generations):
-            order = np.argsort(fitness)
-            next_pop = [population[int(i)] for i in order[: p.elite]]
-            while len(next_pop) < p.population:
-                parent_a = self._tournament(population, fitness, rng)
-                parent_b = self._tournament(population, fitness, rng)
-                if rng.random() < p.crossover_rate:
-                    child = self._crossover(parent_a, parent_b, pool, rng)
-                else:
-                    child = parent_a
-                if rng.random() < p.mutation_rate:
-                    child = moves.neighbour(child, rng)
-                if self.feasible(child):
-                    next_pop.append(child)
-                else:
-                    next_pop.append(parent_a)
-            population = next_pop
-            fitness = [fit(m) for m in population]
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            population, fitness = ga_generation(
+                population, fitness, fit, p, moves, pool, rng, self.feasible
+            )
             best_now = min(fitness)
             if best_now < history[-1] - 1e-12:
                 stale = 0
@@ -112,37 +199,26 @@ class GeneticScheduler(Scheduler):
         best_idx = int(np.argmin(fitness))
         return population[best_idx], fitness[best_idx], history
 
-    @staticmethod
-    def _tournament(
-        population: list[TaskMapping], fitness: list[float], rng: np.random.Generator
-    ) -> TaskMapping:
-        contenders = rng.choice(len(population), size=min(3, len(population)), replace=False)
-        winner = min(contenders, key=lambda i: fitness[int(i)])
-        return population[int(winner)]
+    def _run_islands(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
+        # Imported lazily: repro.search.worker imports ga_generation from
+        # this module, so a top-level import here would be circular.
+        from repro.search.islands import run_island_ga
+        from repro.search.spec import SearchSpec
 
-    @staticmethod
-    def _crossover(
-        a: TaskMapping, b: TaskMapping, pool: list[str], rng: np.random.Generator
-    ) -> TaskMapping:
-        """Uniform crossover with duplicate repair.
-
-        Genes are per-rank node choices; when the inherited gene is
-        already used by an earlier rank, repair with the other parent's
-        gene, then with a random unused pool node.
-        """
-        nprocs = a.nprocs
-        used: set[str] = set()
-        genes: list[str] = []
-        take_a = rng.random(nprocs) < 0.5
-        for rank in range(nprocs):
-            first = a.node_of(rank) if take_a[rank] else b.node_of(rank)
-            second = b.node_of(rank) if take_a[rank] else a.node_of(rank)
-            if first not in used:
-                genes.append(first)
-            elif second not in used:
-                genes.append(second)
-            else:
-                free = [n for n in pool if n not in used]
-                genes.append(free[int(rng.integers(len(free)))])
-            used.add(genes[-1])
-        return TaskMapping(genes)
+        spec = SearchSpec.from_evaluator(
+            evaluator, pool, use_fast_path=True, constraint=self._constraint
+        )
+        result = run_island_ga(
+            spec,
+            self._params,
+            islands=self._islands,
+            migration_interval=self._migration_interval,
+            migrants=self._migrants,
+            seed=seed,
+            rng_parts=(self.name, tuple(pool), evaluator.profile.app_name),
+            workers=self.parallel,
+            mp_context=self._mp_context,
+            deadline=self._deadline(),
+        )
+        evaluator.record_evaluations(result.evaluations)
+        return result.mapping, result.energy, result.history

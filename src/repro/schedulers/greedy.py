@@ -22,8 +22,14 @@ class GreedyScheduler(Scheduler):
 
     name = "GREEDY"
 
-    def __init__(self, *, improvement_rounds: int = 2, constraint: MappingConstraint | None = None):
-        super().__init__(constraint=constraint)
+    def __init__(
+        self,
+        *,
+        improvement_rounds: int = 2,
+        constraint: MappingConstraint | None = None,
+        **execution,
+    ):
+        super().__init__(constraint=constraint, **execution)
         if improvement_rounds < 0:
             raise ValueError("improvement_rounds must be >= 0")
         self._rounds = improvement_rounds

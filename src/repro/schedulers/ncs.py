@@ -36,11 +36,17 @@ class NoCommScheduler(CbesScheduler):
         schedule: AnnealingSchedule = AnnealingSchedule(),
         direction: str = "minimize",
         swap_probability: float = 0.5,
+        restarts: int = 2,
+        share_bound: bool = False,
         constraint: MappingConstraint | None = None,
+        **execution,
     ):
         super().__init__(
             schedule=schedule,
             direction=direction,
             swap_probability=swap_probability,
+            restarts=restarts,
+            share_bound=share_bound,
             constraint=constraint,
+            **execution,
         )

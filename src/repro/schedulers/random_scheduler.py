@@ -18,8 +18,8 @@ class RandomScheduler(Scheduler):
 
     name = "RS"
 
-    def __init__(self, *, constraint: MappingConstraint | None = None):
-        super().__init__(constraint=constraint)
+    def __init__(self, *, constraint: MappingConstraint | None = None, **execution):
+        super().__init__(constraint=constraint, **execution)
 
     def _run(self, evaluator: MappingEvaluator, pool: list[str], seed: int):
         rng = make_rng(seed, self.name, tuple(pool), evaluator.profile.app_name)

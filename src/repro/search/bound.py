@@ -1,0 +1,72 @@
+"""Best-so-far bounds shared between concurrent search chains.
+
+Both implement the :class:`repro.schedulers.annealing.CostBound`
+protocol and work in *cost* space (the sign-adjusted energy the annealer
+minimizes, so one bound serves both search directions).  A chain is
+pruned when its own best cost trails the global best by more than a
+relative *margin* — it publishes what it has and stops burning CPU on a
+basin it has already lost.
+
+Pruning is a throughput heuristic, not part of the determinism contract:
+which chain crosses the margin first depends on scheduling, so the
+portfolio only installs a bound when ``share_bound=True`` is requested
+explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LocalBound", "SharedBound"]
+
+
+def _beaten(cost: float, best: float, margin: float) -> bool:
+    """Whether *cost* trails *best* by more than the relative margin."""
+    if not math.isfinite(best):
+        return False
+    return cost - best > margin * max(abs(best), 1e-12)
+
+
+class LocalBound:
+    """In-process bound, used when the portfolio runs inline."""
+
+    def __init__(self, margin: float = 0.05):
+        if margin < 0.0:
+            raise ValueError("margin must be >= 0")
+        self.margin = margin
+        self._best = math.inf
+
+    def update(self, cost: float) -> None:
+        if cost < self._best:
+            self._best = cost
+
+    def should_prune(self, cost: float) -> bool:
+        return _beaten(cost, self._best, self.margin)
+
+
+class SharedBound:
+    """Cross-process bound over a ``multiprocessing`` double value.
+
+    The value must be created by the *parent* (``ctx.Value("d", inf)``)
+    and handed to workers through the pool initializer — shared ctypes
+    cannot travel through the task queue.
+    """
+
+    def __init__(self, value, margin: float = 0.05):
+        if margin < 0.0:
+            raise ValueError("margin must be >= 0")
+        self.margin = margin
+        self._value = value
+
+    def update(self, cost: float) -> None:
+        with self._value.get_lock():
+            if cost < self._value.value:
+                self._value.value = cost
+
+    def should_prune(self, cost: float) -> bool:
+        # A torn read cannot happen for an aligned double on any platform
+        # we support, but take the lock anyway: update() holds it and the
+        # read is vastly off the hot path (once per temperature step).
+        with self._value.get_lock():
+            best = self._value.value
+        return _beaten(cost, best, self.margin)

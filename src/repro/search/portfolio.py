@@ -1,0 +1,151 @@
+"""Process-parallel portfolio of search restarts with deterministic reduction.
+
+The portfolio fans independent SA restarts (and GA island epochs, via
+:mod:`repro.search.islands`) across a :class:`~concurrent.futures.
+ProcessPoolExecutor` and reduces the outcomes with a deterministic
+best-of: ties on energy break by task index, results come back through
+the order-preserving ``Executor.map``, and every task owns a seed
+substream — so ``workers=1`` and ``workers=N`` produce byte-identical
+mappings for the same master seed.  ``workers=1`` does not start a pool
+at all: it runs the very same :class:`~repro.search.worker.TaskRunner`
+inline.
+
+Two opt-in features trade that determinism for throughput and are
+therefore off by default: ``share_bound`` (chains publish their best
+cost through a shared value and abandon basins they have already lost)
+and per-task deadlines (set by the scheduler's ``time_budget``).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.fast_eval import EvaluationContext
+from repro.core.mapping import TaskMapping
+from repro.search.bound import LocalBound
+from repro.search.spec import SearchSpec
+from repro.search.worker import (
+    SaOutcome,
+    SaTask,
+    TaskRunner,
+    _initialize_worker,
+    _run_sa_task,
+)
+
+__all__ = ["ParallelPortfolio", "PortfolioResult", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the spec for free),
+    ``spawn`` elsewhere."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def effective_workers(requested: int) -> int:
+    """Clamp a worker request to the CPUs actually schedulable here."""
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        available = os.cpu_count() or 1
+    return max(1, min(requested, available))
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """Reduced outcome of one portfolio run."""
+
+    mapping: TaskMapping
+    energy: float
+    #: Per-restart best-energy trajectories concatenated in task order
+    #: (stable across parallel degrees, unlike completion order).
+    history: list[float]
+    evaluations: int
+    outcomes: tuple[SaOutcome, ...]
+
+
+class ParallelPortfolio:
+    """Runs a batch of search tasks over one spec, inline or in a pool."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        mp_context: str | None = None,
+        share_bound: bool = False,
+        bound_margin: float = 0.05,
+    ):
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ValueError(f"workers must be an integer >= 1, got {workers!r}")
+        if bound_margin < 0.0:
+            raise ValueError("bound_margin must be >= 0")
+        self._workers = workers
+        self._mp_context = mp_context
+        self._share_bound = share_bound
+        self._margin = bound_margin
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def run_sa(
+        self,
+        spec: SearchSpec,
+        tasks: list[SaTask],
+        *,
+        direction: str = "minimize",
+        context: EvaluationContext | None = None,
+    ) -> PortfolioResult:
+        """Execute *tasks* and reduce to the single best outcome.
+
+        *context* is an optional pre-built evaluation context for the
+        inline (``workers == 1``) path, so a scheduler can hand over its
+        evaluator's cached context instead of rebuilding one; it is
+        ignored when a pool is used (workers build their own).
+        """
+        if not tasks:
+            raise ValueError("portfolio needs at least one task")
+        if direction not in ("minimize", "maximize"):
+            raise ValueError("direction must be 'minimize' or 'maximize'")
+        nworkers = min(self._workers, len(tasks))
+        if nworkers <= 1:
+            bound = LocalBound(self._margin) if self._share_bound else None
+            runner = TaskRunner(spec, bound=bound, context=context)
+            outcomes = [runner.run_sa(task) for task in tasks]
+        else:
+            outcomes = self._run_pool(spec, tasks)
+        return reduce_outcomes(outcomes, direction)
+
+    def _run_pool(self, spec: SearchSpec, tasks: list[SaTask]) -> list[SaOutcome]:
+        spec.ensure_picklable()
+        ctx = mp.get_context(self._mp_context or default_start_method())
+        bound_value = ctx.Value("d", math.inf) if self._share_bound else None
+        with ProcessPoolExecutor(
+            max_workers=min(self._workers, len(tasks)),
+            mp_context=ctx,
+            initializer=_initialize_worker,
+            initargs=(spec, bound_value, self._margin),
+        ) as executor:
+            # Executor.map preserves task order regardless of which
+            # worker finishes first — half of the determinism story.
+            return list(executor.map(_run_sa_task, tasks))
+
+
+def reduce_outcomes(outcomes: list[SaOutcome], direction: str) -> PortfolioResult:
+    """Deterministic best-of: best energy, ties broken by task index."""
+    sign = 1.0 if direction == "minimize" else -1.0
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    best = min(ordered, key=lambda o: (sign * o.energy, o.index))
+    history: list[float] = []
+    for outcome in ordered:
+        history.extend(outcome.history)
+    return PortfolioResult(
+        mapping=best.mapping,
+        energy=best.energy,
+        history=history,
+        evaluations=sum(o.evaluations for o in ordered),
+        outcomes=tuple(ordered),
+    )

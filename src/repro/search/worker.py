@@ -1,0 +1,232 @@
+"""Per-process task execution for the parallel search portfolio.
+
+A :class:`TaskRunner` is the unit of worker-side state: it builds its
+own :class:`~repro.core.fast_eval.EvaluationContext` from the pickled
+:class:`~repro.search.spec.SearchSpec` (falling back to a reference
+:class:`~repro.core.evaluation.MappingEvaluator` when the fast path is
+unavailable) and then executes search tasks against it.  The master
+process runs the *same* runner inline when ``parallel == 1`` — identical
+code path, identical arithmetic, which is what lets the portfolio
+promise byte-identical results across parallel degrees.
+
+Module-level ``_initialize_worker`` / ``_run_sa_task`` /
+``_run_ga_epoch_task`` are the :class:`~concurrent.futures.
+ProcessPoolExecutor` entry points (they must be importable by name in a
+fresh interpreter, hence no closures).  The shared best-so-far value is
+threaded through the pool *initializer* because ``multiprocessing``
+shared ctypes cannot travel through the task queue.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import spawn_rng
+from repro.core.fast_eval import (
+    EvaluationContext,
+    FastEvalUnavailable,
+    IncrementalEvaluator,
+)
+from repro.core.mapping import TaskMapping
+from repro.schedulers.annealing import AnnealingSchedule, CostBound, anneal
+from repro.schedulers.genetic import GeneticParams, ga_generation
+from repro.schedulers.moves import MoveGenerator
+from repro.search.bound import SharedBound
+from repro.search.spec import SearchSpec, draw_initial_mapping, greedy_mapping
+
+__all__ = [
+    "SaTask",
+    "SaOutcome",
+    "IslandState",
+    "GaEpochTask",
+    "TaskRunner",
+]
+
+
+@dataclass(frozen=True)
+class SaTask:
+    """One simulated-annealing restart, fully specified.
+
+    ``rng_parts`` feeds :func:`repro._util.spawn_rng` together with
+    ``seed``: every restart gets its own substream, independent of which
+    process runs it and of how many restarts run beside it.
+    """
+
+    index: int
+    seed: int
+    rng_parts: tuple
+    schedule: AnnealingSchedule = AnnealingSchedule()
+    swap_probability: float = 0.5
+    greedy_start: bool = False
+    direction: str = "minimize"
+    #: Absolute ``time.monotonic()`` deadline (CLOCK_MONOTONIC is
+    #: system-wide on the platforms we support, so the instant computed
+    #: by the master is meaningful inside a worker).
+    deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class SaOutcome:
+    """What one restart reports back to the reducer."""
+
+    index: int
+    mapping: TaskMapping
+    energy: float
+    history: tuple[float, ...]
+    evaluations: int
+
+
+@dataclass
+class IslandState:
+    """One GA island's full evolutionary state between epochs.
+
+    The state round-trips master → worker → master every epoch; the RNG
+    generator pickles with its position, so an island's trajectory does
+    not depend on which worker process hosts which epoch.
+    """
+
+    index: int
+    rng: np.random.Generator
+    population: list[TaskMapping] | None = None
+    fitness: list[float] | None = None
+    history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+@dataclass(frozen=True)
+class GaEpochTask:
+    """Evolve one island for *generations* generations."""
+
+    state: IslandState
+    params: GeneticParams
+    generations: int
+    deadline: float | None = None
+
+
+class TaskRunner:
+    """Executes search tasks against one spec, counting evaluations."""
+
+    def __init__(
+        self,
+        spec: SearchSpec,
+        *,
+        bound: CostBound | None = None,
+        context: EvaluationContext | None = None,
+    ):
+        self.spec = spec
+        self.bound = bound
+        self.count = 0
+        self._incremental: IncrementalEvaluator | None = None
+        self._evaluator = None
+        if spec.use_fast_path:
+            try:
+                ctx = context
+                if ctx is None:
+                    ctx = EvaluationContext(
+                        spec.profile, spec.latency_model, spec.nodes, spec.snapshot, spec.options
+                    )
+                self._incremental = IncrementalEvaluator(ctx, on_evaluate=self._tick)
+            except FastEvalUnavailable:
+                self._incremental = None
+        if self._incremental is None:
+            self._evaluator = spec.build_evaluator()
+
+    # -- evaluation plumbing --------------------------------------------
+    def _tick(self) -> None:
+        self.count += 1
+
+    def _reference_energy(self, mapping: TaskMapping) -> float:
+        self.count += 1
+        return self._evaluator.execution_time(mapping)
+
+    def _energy(self):
+        """The annealing energy: incremental protocol or plain callable."""
+        if self._incremental is not None:
+            return self._incremental
+        return self._reference_energy
+
+    # -- SA restarts ----------------------------------------------------
+    def run_sa(self, task: SaTask) -> SaOutcome:
+        start_count = self.count
+        rng = spawn_rng(task.seed, *task.rng_parts)
+        moves = MoveGenerator(list(self.spec.pool), swap_probability=task.swap_probability)
+        start = None
+        if task.greedy_start:
+            start = greedy_mapping(self.spec)
+        if start is None:
+            start = draw_initial_mapping(self.spec, rng)
+        best, energy_value, history = anneal(
+            self._energy(),
+            start,
+            moves,
+            rng,
+            schedule=task.schedule,
+            feasible=self.spec.feasible,
+            direction=task.direction,
+            deadline=task.deadline,
+            bound=self.bound,
+        )
+        return SaOutcome(
+            index=task.index,
+            mapping=best,
+            energy=energy_value,
+            history=tuple(history),
+            evaluations=self.count - start_count,
+        )
+
+    # -- GA island epochs -----------------------------------------------
+    def run_ga_epoch(self, task: GaEpochTask) -> IslandState:
+        state = task.state
+        p = task.params
+        start_count = self.count
+        rng = state.rng
+        moves = MoveGenerator(list(self.spec.pool))
+        fit = self._incremental if self._incremental is not None else self._reference_energy
+        pool = list(self.spec.pool)
+        history = list(state.history)
+        if state.population is None:
+            population = [draw_initial_mapping(self.spec, rng) for _ in range(p.population)]
+            fitness = [fit(m) for m in population]
+            history.append(min(fitness))
+        else:
+            population = list(state.population)
+            fitness = list(state.fitness)
+        for _ in range(task.generations):
+            if task.deadline is not None and time.monotonic() >= task.deadline:
+                break
+            population, fitness = ga_generation(
+                population, fitness, fit, p, moves, pool, rng, self.spec.feasible
+            )
+            history.append(min(min(fitness), history[-1]))
+        return IslandState(
+            index=state.index,
+            rng=rng,
+            population=population,
+            fitness=fitness,
+            history=history,
+            evaluations=state.evaluations + (self.count - start_count),
+        )
+
+
+# -- ProcessPoolExecutor entry points -----------------------------------
+_RUNNER: TaskRunner | None = None
+
+
+def _initialize_worker(spec: SearchSpec, bound_value, margin: float) -> None:
+    """Pool initializer: build this worker's runner once, reuse per task."""
+    global _RUNNER
+    bound = SharedBound(bound_value, margin) if bound_value is not None else None
+    _RUNNER = TaskRunner(spec, bound=bound)
+
+
+def _run_sa_task(task: SaTask) -> SaOutcome:
+    assert _RUNNER is not None, "worker used before _initialize_worker"
+    return _RUNNER.run_sa(task)
+
+
+def _run_ga_epoch_task(task: GaEpochTask) -> IslandState:
+    assert _RUNNER is not None, "worker used before _initialize_worker"
+    return _RUNNER.run_ga_epoch(task)

@@ -131,6 +131,8 @@ class CbesClient:
         arch: str | None = None,
         seed: int = 0,
         options: dict | None = None,
+        workers: int | None = None,
+        time_budget: float | None = None,
         timeout_s: float = 300.0,
     ) -> dict:
         """Submit a scheduling job and wait for its result document."""
@@ -141,6 +143,10 @@ class CbesClient:
             payload["arch"] = arch
         if options is not None:
             payload["options"] = options
+        if workers is not None:
+            payload["workers"] = workers
+        if time_budget is not None:
+            payload["time_budget"] = time_budget
         job = self.submit("schedule", **payload)
         return self.wait(job["id"], timeout_s=timeout_s)["result"]
 

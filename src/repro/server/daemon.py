@@ -353,7 +353,11 @@ class CbesDaemon:
         evaluator = self._service.evaluator(app, options=options, snapshot=snapshot)
         if job.kind == "schedule":
             self._context_for(app, options, snapshot, evaluator)
-            scheduler = make_scheduler(payload["scheduler"])
+            scheduler = make_scheduler(
+                payload["scheduler"],
+                parallel=payload.get("workers", 1),
+                time_budget=payload.get("time_budget"),
+            )
             result = scheduler.schedule(evaluator, payload["pool"], seed=payload["seed"])
             doc = schedule_result_to_dict(result)
         elif job.kind == "predict":

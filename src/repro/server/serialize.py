@@ -90,7 +90,19 @@ def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
         raise ApiError(
             400, "bad-request", f"payload field 'kind' must be one of {', '.join(JOB_KINDS)}"
         )
-    known = {"kind", "app", "seed", "options", "scheduler", "pool", "arch", "nodes", "mappings"}
+    known = {
+        "kind",
+        "app",
+        "seed",
+        "options",
+        "scheduler",
+        "pool",
+        "arch",
+        "nodes",
+        "mappings",
+        "workers",
+        "time_budget",
+    }
     unknown = set(doc) - known
     if unknown:
         raise ApiError(400, "bad-request", f"unknown payload field(s) {sorted(unknown)}")
@@ -103,6 +115,13 @@ def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
 
     cluster_nodes = set(service.cluster.node_ids())
     payload: dict = {"app": app, "seed": seed, "options": doc.get("options")}
+
+    if kind != "schedule":
+        for field in ("workers", "time_budget"):
+            if field in doc:
+                raise ApiError(
+                    400, "bad-request", f"payload field {field!r} is only valid for schedule jobs"
+                )
 
     if kind == "schedule":
         scheduler = doc.get("scheduler", "cs")
@@ -130,7 +149,30 @@ def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
                 ) from None
         else:
             pool = service.cluster.node_ids()
-        payload.update(scheduler=scheduler.lower(), pool=pool)
+        workers = doc.get("workers", 1)
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ApiError(
+                400,
+                "bad-request",
+                f"payload field 'workers' must be an integer >= 1, got {workers!r}",
+            )
+        time_budget = doc.get("time_budget")
+        if time_budget is not None and (
+            not isinstance(time_budget, (int, float))
+            or isinstance(time_budget, bool)
+            or time_budget <= 0
+        ):
+            raise ApiError(
+                400,
+                "bad-request",
+                f"payload field 'time_budget' must be a number of seconds > 0, got {time_budget!r}",
+            )
+        payload.update(
+            scheduler=scheduler.lower(),
+            pool=pool,
+            workers=workers,
+            time_budget=time_budget,
+        )
     elif kind == "predict":
         nodes = _node_list(doc.get("nodes"), "nodes")
         unknown_nodes = sorted(set(nodes) - cluster_nodes)

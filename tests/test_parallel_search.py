@@ -1,0 +1,348 @@
+"""Tests for the parallel portfolio search engine (repro.search).
+
+The engine's contract has three legs, each covered here:
+
+* **Picklability** — specs, snapshots, contexts and mappings survive the
+  trip into worker processes (and drop process-local caches on the way).
+* **Determinism** — ``parallel=1`` and ``parallel=N`` return identical
+  mappings, predictions and evaluation counts for one master seed, for
+  both the SA restart portfolio and the GA island model; restart seed
+  substreams make each restart independent of the restart count.
+* **Cancellation** — an expired ``time_budget`` returns the best-so-far
+  instead of raising.
+
+Daemon integration (workers / time_budget job fields) is covered at the
+HTTP level.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.schedulers import make_scheduler
+from repro.schedulers.annealing import AnnealingSchedule
+from repro.schedulers.genetic import GeneticParams
+from repro.search import (
+    LocalBound,
+    ParallelPortfolio,
+    SaTask,
+    SearchSpec,
+    TaskRunner,
+    run_island_ga,
+)
+from repro.server import DaemonThread, ServerError
+from repro.workloads import SyntheticBenchmark
+
+
+def result_key(result):
+    return (result.mapping.as_tuple(), result.predicted_time, result.evaluations)
+
+
+@pytest.fixture(scope="module")
+def evaluator_and_pool():
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+    from bench_incremental_eval import build_workload
+
+    return build_workload(12, 6)
+
+
+@pytest.fixture()
+def fresh_evaluator(evaluator_and_pool):
+    evaluator, pool = evaluator_and_pool
+    # with_snapshot clones the evaluator (and resets nothing else), so
+    # per-test evaluation counters don't leak between tests.
+    return evaluator.with_snapshot(evaluator.snapshot), pool
+
+
+class TestPicklability:
+    def test_snapshot_round_trip(self, fresh_evaluator):
+        evaluator, _ = fresh_evaluator
+        snapshot = evaluator.snapshot
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.fingerprint() == snapshot.fingerprint()
+        assert dict(clone.ncpus) == dict(snapshot.ncpus)
+
+    def test_mapping_round_trip_recomputes_hash(self, fresh_evaluator):
+        _, pool = fresh_evaluator
+        mapping = TaskMapping(pool[:4])
+        clone = pickle.loads(pickle.dumps(mapping))
+        assert clone == mapping
+        # The hash cache is salted per process; equality of hashes here
+        # proves it was recomputed, not shipped.
+        assert hash(clone) == hash(mapping)
+
+    def test_context_round_trip_drops_memo(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        context = evaluator.fast_context()
+        # Warm the no-load memo, then check it does not travel.
+        context.execution_time(TaskMapping(pool[:6]))
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone._noload_cache == {}
+        assert clone.snapshot_fingerprint == context.snapshot_fingerprint
+        m = TaskMapping(pool[:6])
+        assert clone.execution_time(m) == pytest.approx(context.execution_time(m), abs=1e-12)
+
+    def test_spec_round_trip_evaluates_identically(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        spec = SearchSpec.from_evaluator(evaluator, pool)
+        spec.ensure_picklable()
+        clone = pickle.loads(pickle.dumps(spec))
+        m = TaskMapping(pool[:6])
+        assert clone.build_evaluator().execution_time(m) == pytest.approx(
+            evaluator.execution_time(m), abs=1e-12
+        )
+
+    def test_unpicklable_constraint_fails_fast(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        bound_pool = set(pool[:8])
+        spec = SearchSpec.from_evaluator(
+            evaluator, pool, constraint=lambda m: set(m.nodes_used()) <= bound_pool
+        )
+        with pytest.raises(ValueError, match="module-level"):
+            spec.ensure_picklable()
+
+
+class TestSaDeterminism:
+    @pytest.mark.parametrize("scheduler_name", ["cs", "ncs"])
+    def test_parallel_degrees_agree(self, evaluator_and_pool, scheduler_name):
+        """Acceptance: parallel in {1, 2, 4} => byte-identical results."""
+        evaluator, pool = evaluator_and_pool
+        results = {}
+        for parallel in (1, 2, 4):
+            scheduler = make_scheduler(scheduler_name, restarts=3, parallel=parallel)
+            ev = evaluator.with_snapshot(evaluator.snapshot)
+            results[parallel] = result_key(scheduler.schedule(ev, pool, seed=11))
+        assert results[1] == results[2] == results[4]
+
+    def test_maximize_direction_agrees_too(self, evaluator_and_pool):
+        evaluator, pool = evaluator_and_pool
+        results = {}
+        for parallel in (1, 2):
+            scheduler = make_scheduler(
+                "cs", restarts=2, direction="maximize", parallel=parallel
+            )
+            ev = evaluator.with_snapshot(evaluator.snapshot)
+            results[parallel] = result_key(scheduler.schedule(ev, pool, seed=3))
+        assert results[1] == results[2]
+
+    def test_restart_substreams_are_independent(self, fresh_evaluator):
+        """Satellite 2: restart i's outcome does not depend on how many
+        other restarts run beside it (the old shared-RNG coupling)."""
+        evaluator, pool = fresh_evaluator
+        spec = SearchSpec.from_evaluator(evaluator, pool)
+
+        def tasks(n):
+            return [
+                SaTask(index=i, seed=5, rng_parts=("t", "restart", i)) for i in range(n)
+            ]
+
+        portfolio = ParallelPortfolio(1)
+        two = portfolio.run_sa(spec, tasks(2)).outcomes
+        four = portfolio.run_sa(spec, tasks(4)).outcomes
+        for a, b in zip(two, four):
+            assert a.mapping == b.mapping
+            assert a.energy == b.energy
+            assert a.history == b.history
+
+    def test_tie_break_prefers_lowest_index(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        spec = SearchSpec.from_evaluator(evaluator, pool)
+        # Identical rng_parts => identical outcomes => the reduction must
+        # pick index 0 deterministically.
+        tasks = [SaTask(index=i, seed=9, rng_parts=("same",)) for i in range(3)]
+        result = ParallelPortfolio(1).run_sa(spec, tasks)
+        best = min(result.outcomes, key=lambda o: (o.energy, o.index))
+        assert best.index == 0
+        assert result.mapping == best.mapping
+
+    def test_shared_bound_still_returns_valid_result(self, evaluator_and_pool):
+        evaluator, pool = evaluator_and_pool
+        ev = evaluator.with_snapshot(evaluator.snapshot)
+        scheduler = make_scheduler("cs", restarts=3, parallel=2, share_bound=True)
+        result = scheduler.schedule(ev, pool, seed=1)
+        assert result.mapping.nprocs == ev.profile.nprocs
+        assert result.predicted_time > 0
+
+    def test_local_bound_prunes_hopeless_cost(self):
+        bound = LocalBound(margin=0.1)
+        bound.update(10.0)
+        assert not bound.should_prune(10.5)  # within 10%
+        assert bound.should_prune(11.5)  # > 10% behind
+        bound.update(5.0)
+        assert bound.should_prune(10.0)
+
+
+class TestGaIslands:
+    def test_parallel_degrees_agree(self, evaluator_and_pool):
+        evaluator, pool = evaluator_and_pool
+        results = {}
+        for parallel in (1, 2):
+            scheduler = make_scheduler("ga", islands=3, parallel=parallel)
+            ev = evaluator.with_snapshot(evaluator.snapshot)
+            results[parallel] = result_key(scheduler.schedule(ev, pool, seed=21))
+        assert results[1] == results[2]
+
+    def test_migration_spreads_elites(self, fresh_evaluator):
+        """With migration every generation, every island's final best
+        can be no worse than the globally best initial individual."""
+        evaluator, pool = fresh_evaluator
+        spec = SearchSpec.from_evaluator(evaluator, pool)
+        params = GeneticParams(population=8, generations=6)
+        result = run_island_ga(
+            spec,
+            params,
+            islands=3,
+            migration_interval=1,
+            migrants=2,
+            seed=4,
+            rng_parts=("mig",),
+        )
+        assert len(result.islands) == 3
+        # The best initial individual (history[0]) migrates ring-wide, so
+        # no island can end worse than the worst initial best.
+        worst_initial = max(island.history[0] for island in result.islands)
+        for island in result.islands:
+            assert min(island.fitness) <= worst_initial
+        assert result.energy == min(min(i.fitness) for i in result.islands)
+
+    def test_islands_param_validation(self):
+        with pytest.raises(ValueError):
+            make_scheduler("ga", islands=0)
+        with pytest.raises(ValueError):
+            make_scheduler("ga", islands=2, migrants=0)
+        with pytest.raises(ValueError):
+            make_scheduler("ga", islands=2, migration_interval=0)
+
+
+class TestCancellation:
+    def test_expired_budget_returns_best_so_far(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        # A budget far smaller than one temperature step: the annealer
+        # must still return a finished result, never raise.
+        scheduler = make_scheduler(
+            "cs",
+            restarts=2,
+            time_budget=1e-6,
+            schedule=AnnealingSchedule(moves_per_temperature=200, steps=50, patience=50),
+        )
+        result = scheduler.schedule(evaluator, pool, seed=2)
+        assert result.mapping.nprocs == evaluator.profile.nprocs
+        assert result.predicted_time > 0
+
+    def test_expired_budget_parallel_ga(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        scheduler = make_scheduler("ga", islands=2, parallel=2, time_budget=1e-6)
+        result = scheduler.schedule(evaluator, pool, seed=2)
+        assert result.mapping.nprocs == evaluator.profile.nprocs
+
+    def test_execution_option_validation(self):
+        with pytest.raises(ValueError, match="parallel"):
+            make_scheduler("cs", parallel=0)
+        with pytest.raises(ValueError, match="parallel"):
+            make_scheduler("cs", parallel=True)
+        with pytest.raises(ValueError, match="time_budget"):
+            make_scheduler("cs", time_budget=-1)
+        with pytest.raises(ValueError, match="time_budget"):
+            make_scheduler("cs", time_budget=0)
+
+    def test_schedulers_without_search_accept_execution_options(self, fresh_evaluator):
+        evaluator, pool = fresh_evaluator
+        for name in ("rs", "greedy"):
+            scheduler = make_scheduler(name, parallel=4, time_budget=60.0)
+            result = scheduler.schedule(evaluator, pool, seed=0)
+            assert result.mapping.nprocs == evaluator.profile.nprocs
+
+
+class TestServiceWiring:
+    @pytest.fixture(scope="class")
+    def service_and_app(self):
+        service = CBES(single_switch("mini", 6))
+        service.calibrate(seed=2)
+        app = SyntheticBenchmark(comm_fraction=0.2, duration_s=2.0, steps=4)
+        service.profile_application(app, 3, seed=1)
+        return service, app.name
+
+    def test_service_schedule_parallel_kwarg(self, service_and_app):
+        service, app_name = service_and_app
+        pool = service.cluster.node_ids()
+        serial = service.schedule(app_name, make_scheduler("cs"), pool, seed=6)
+        fanned = service.schedule(
+            app_name, make_scheduler("cs"), pool, seed=6, parallel=2
+        )
+        assert fanned.mapping == serial.mapping
+        assert fanned.predicted_time == pytest.approx(serial.predicted_time, abs=1e-12)
+
+    def test_service_schedule_rejects_plain_callables(self, service_and_app):
+        service, app_name = service_and_app
+
+        class Bare:
+            def schedule(self, evaluator, pool, *, seed=0):  # pragma: no cover
+                raise AssertionError("should not run")
+
+        with pytest.raises(TypeError, match="execution options"):
+            service.schedule(app_name, Bare(), service.cluster.node_ids(), parallel=2)
+
+    def test_daemon_validates_workers_and_budget(self, service_and_app):
+        service, app_name = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=8) as server:
+            client = server.client()
+            for payload, fragment in [
+                ({"workers": 0}, "workers"),
+                ({"workers": True}, "workers"),
+                ({"workers": "four"}, "workers"),
+                ({"time_budget": -1}, "time_budget"),
+                ({"time_budget": 0}, "time_budget"),
+            ]:
+                with pytest.raises(ServerError) as excinfo:
+                    client.submit("schedule", app=app_name, **payload)
+                assert excinfo.value.status == 400
+                assert fragment in str(excinfo.value)
+            # workers is a schedule-job field only.
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(
+                    "predict",
+                    app=app_name,
+                    nodes=service.cluster.node_ids()[:3],
+                    workers=2,
+                )
+            assert excinfo.value.status == 400
+            assert "only valid for schedule jobs" in str(excinfo.value)
+
+    def test_daemon_parallel_job_matches_direct_run(self, service_and_app):
+        """Acceptance: a workers=2 daemon job == a direct parallel run."""
+        service, app_name = service_and_app
+        pool = service.cluster.node_ids()
+        direct = service.schedule(app_name, make_scheduler("cs"), pool, seed=8)
+        with DaemonThread(service, workers=1, queue_limit=8) as server:
+            client = server.client()
+            remote = client.schedule(app_name, scheduler="cs", pool=pool, seed=8, workers=2)
+        assert remote["mapping"] == list(direct.mapping.as_tuple())
+        assert remote["predicted_time"] == pytest.approx(direct.predicted_time, abs=1e-12)
+
+
+class TestInlineFastPathParity:
+    def test_inline_context_reuse_matches_worker_built_context(self, fresh_evaluator):
+        """The inline path hands the evaluator's cached context to the
+        runner; a runner that builds its own context from the spec must
+        produce the same outcome."""
+        evaluator, pool = fresh_evaluator
+        spec = SearchSpec.from_evaluator(evaluator, pool)
+        task = SaTask(index=0, seed=13, rng_parts=("parity",))
+        with_cache = TaskRunner(spec, context=evaluator.fast_context()).run_sa(task)
+        self_built = TaskRunner(spec).run_sa(task)
+        assert with_cache.mapping == self_built.mapping
+        assert with_cache.energy == self_built.energy
+        assert with_cache.evaluations == self_built.evaluations
+
+    def test_no_fast_path_still_deterministic(self, evaluator_and_pool):
+        evaluator, pool = evaluator_and_pool
+        spec = SearchSpec.from_evaluator(evaluator, pool, use_fast_path=False)
+        task = SaTask(index=0, seed=13, rng_parts=("ref",))
+        a = TaskRunner(spec).run_sa(task)
+        b = TaskRunner(spec).run_sa(task)
+        assert a.mapping == b.mapping and a.energy == b.energy
