@@ -95,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     disagreements = sum(
-        1 for a, b in zip(direct_times, daemon_times) if abs(a - b) > AGREEMENT_TOL
+        1 for a, b in zip(direct_times, daemon_times, strict=True) if abs(a - b) > AGREEMENT_TOL
     )
     rate = njobs / daemon_s
     overhead_ms = (daemon_s - direct_s) / njobs * 1e3

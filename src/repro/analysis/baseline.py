@@ -1,0 +1,73 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the suite turn on strict in CI without first fixing
+every historical finding: known violations are recorded (by
+location-insensitive fingerprint, with a count) in a committed JSON file
+and subtracted from each run.  New findings — anything beyond the
+recorded count for a fingerprint — still fail the build, and entries
+that no longer match anything are reported as stale so the file only
+ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_NOTE = (
+    "Grandfathered repro.analysis findings. Entries map finding "
+    "fingerprints (rule:path:message) to allowed counts. Remove entries "
+    "as the underlying findings are fixed; never add entries for new "
+    "code — fix the finding or suppress it inline with a justification."
+)
+
+
+def load_baseline(path: Path | None) -> Counter[str]:
+    """Fingerprint -> allowed count, or empty when *path* is missing."""
+    if path is None or not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {path}: 'findings' must be an object")
+    counts: Counter[str] = Counter()
+    for fingerprint, count in entries.items():
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(f"baseline {path}: bad count for {fingerprint!r}")
+        counts[fingerprint] = count
+    return counts
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """Record *findings* as the new baseline at *path*."""
+    counts: Counter[str] = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": 1,
+        "note": _NOTE,
+        "findings": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter[str], *, checked_files: int = 0
+) -> AnalysisReport:
+    """Split findings into new vs. baselined and spot stale entries."""
+    remaining = Counter(baseline)
+    report = AnalysisReport(checked_files=checked_files)
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    report.stale_baseline = sorted(
+        fingerprint for fingerprint, count in remaining.items() if count > 0
+    )
+    return report

@@ -1,0 +1,81 @@
+"""Finding model shared by the analysis engine, CLI, and baseline store.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.fingerprint` deliberately excludes the line/column so a
+baselined finding survives unrelated edits that shift code around; the
+baseline counts fingerprints instead (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Path of the offending file, repo-relative POSIX style when possible.
+    path: str
+    line: int
+    col: int
+    #: Rule identifier, e.g. ``"RPR101"``.
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used for baseline matching."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def format_text(self) -> str:
+        """The one-line ``path:line:col: RULE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregate outcome of one analysis run."""
+
+    #: Findings not covered by the baseline, sorted.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings matched (and swallowed) by baseline entries.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline fingerprints that matched nothing (candidates for removal).
+    stale_baseline: list[str] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any non-baselined finding remains."""
+        return 1 if self.findings else 0
+
+    def by_rule(self) -> dict[str, int]:
+        """Finding counts keyed by rule id (for summaries)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation of the whole run."""
+        return {
+            "version": 1,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "checked_files": self.checked_files,
+                "findings": len(self.findings),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+                "rules": self.by_rule(),
+            },
+        }

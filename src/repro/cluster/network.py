@@ -152,7 +152,10 @@ class NetworkFabric:
     def path_links(self, src: str, dst: str) -> list[tuple[str, str, LinkSpec]]:
         """Links traversed on the forwarding path from *src* to *dst*."""
         verts = self.path(src, dst)
-        return [(a, b, self._graph.edges[a, b]["link"]) for a, b in zip(verts, verts[1:])]
+        return [
+            (a, b, self._graph.edges[a, b]["link"])
+            for a, b in zip(verts, verts[1:], strict=False)
+        ]
 
     def path_switches(self, src: str, dst: str) -> list[SwitchSpec]:
         """Switches traversed on the forwarding path (in order)."""

@@ -122,7 +122,7 @@ def federated(
             nodes.append(node)
         for a, b, data in side_graph.edges(data=True):
             fabric.connect(a, b, data["link"])
-    for a, b in zip(tops, tops[1:]):
+    for a, b in zip(tops, tops[1:], strict=False):
         fabric.connect(a, b, bottleneck)
     return Cluster(name, nodes, fabric)
 

@@ -82,6 +82,7 @@ class ClusterReservations:
 
     @property
     def active(self) -> list[Reservation]:
+        """All live reservations, ordered by application name."""
         return [self._reservations[k] for k in sorted(self._reservations)]
 
     def load_on(self, node_id: str) -> tuple[float, float]:

@@ -60,6 +60,7 @@ class ProcessPrediction:
 
     @property
     def total(self) -> float:
+        """``R_i + C_i``: this process's predicted busy time (eq. 4)."""
         return self.computation + self.communication
 
 
@@ -81,6 +82,7 @@ class MappingPrediction:
         return max(self.processes, key=lambda p: (p.total, -p.rank)).rank
 
     def breakdown(self, rank: int) -> ProcessPrediction:
+        """The per-process R_i/C_i split for one MPI rank."""
         if not 0 <= rank < len(self.processes):
             raise ValueError(f"rank {rank} out of range")
         return self.processes[rank]
@@ -123,10 +125,12 @@ class MappingEvaluator:
 
     @property
     def profile(self) -> ApplicationProfile:
+        """The application profile this evaluator predicts for."""
         return self._profile
 
     @property
     def options(self) -> EvaluationOptions:
+        """The evaluation options used when no override is passed."""
         return self._options
 
     @property

@@ -130,7 +130,13 @@ class EvaluationContext:
             self._invnic = np.ones(n * n)
         # Scalar-path copies: python-list indexing beats 0-d numpy reads.
         self._comp_flat: list[tuple[float, float, float, float]] = list(
-            zip(self._a_src.tolist(), self._a_dst.tolist(), self._a_net.tolist(), self._beta.tolist())
+            zip(
+                self._a_src.tolist(),
+                self._a_dst.tolist(),
+                self._a_net.tolist(),
+                self._beta.tolist(),
+                strict=True,
+            )
         )
         self._invnic_flat: list[float] = self._invnic.tolist()
 
@@ -367,6 +373,7 @@ class IncrementalEvaluator:
     # -- state ----------------------------------------------------------
     @property
     def context(self) -> EvaluationContext:
+        """The precomputed evaluation context backing the fast path."""
         return self._ctx
 
     @property

@@ -48,20 +48,25 @@ class TaskMapping:
     # -- queries ------------------------------------------------------------
     @property
     def nprocs(self) -> int:
+        """Number of application processes this mapping places."""
         return len(self._nodes)
 
     def node_of(self, rank: int) -> str:
+        """The node hosting MPI rank *rank*."""
         if not 0 <= rank < len(self._nodes):
             raise InvalidMappingError(f"rank {rank} out of range for {len(self._nodes)} processes")
         return self._nodes[rank]
 
     def as_dict(self) -> dict[int, str]:
+        """The mapping as a rank -> node-id dictionary."""
         return {r: n for r, n in enumerate(self._nodes)}
 
     def as_tuple(self) -> tuple[str, ...]:
+        """The mapping as a node-id tuple indexed by rank."""
         return self._nodes
 
     def nodes_used(self) -> frozenset[str]:
+        """The distinct node ids this mapping occupies."""
         return frozenset(self._nodes)
 
     def procs_per_node(self) -> dict[str, int]:
@@ -73,6 +78,7 @@ class TaskMapping:
 
     @property
     def is_one_per_node(self) -> bool:
+        """Whether no node hosts more than one process (paper default)."""
         return len(set(self._nodes)) == len(self._nodes)
 
     def require_nodes(self, valid: Iterable[str]) -> None:

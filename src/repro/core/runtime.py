@@ -54,10 +54,12 @@ class RunningApplication:
 
     @property
     def fraction_remaining(self) -> float:
+        """Share of the application's work still to run, in [0, 1]."""
         return max(0.0, 1.0 - self.progress)
 
     @property
     def finished(self) -> bool:
+        """Whether the application has completed all of its work."""
         return self.progress >= 1.0
 
 
@@ -115,7 +117,7 @@ class RemapTrigger:
         if whole_total <= 0 or seg_total <= 0:
             return False
         distance = sum(
-            abs(w / whole_total - s / seg_total) for w, s in zip(whole, seg)
+            abs(w / whole_total - s / seg_total) for w, s in zip(whole, seg, strict=False)
         )
         return distance > self.behaviour_drift
 
@@ -155,6 +157,7 @@ class RuntimeScheduler:
         return running
 
     def running(self, app_name: str) -> RunningApplication:
+        """The tracked state of one launched application."""
         try:
             return self._running[app_name]
         except KeyError:

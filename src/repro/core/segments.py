@@ -118,4 +118,5 @@ class SegmentScheduler:
 
     @property
     def plans(self) -> dict[tuple[str, int], SegmentPlan]:
+        """Per-(application, segment) plans computed so far (a copy)."""
         return dict(self._plans)

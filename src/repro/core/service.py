@@ -71,6 +71,7 @@ class CBES:
     # -- system side ------------------------------------------------------
     @property
     def cluster(self) -> Cluster:
+        """The cluster model this service instance is attached to."""
         return self._cluster
 
     @property
@@ -118,6 +119,7 @@ class CBES:
 
     @property
     def monitor(self) -> SystemMonitor:
+        """The attached system monitor (raises until monitoring starts)."""
         if self._monitor is None:
             raise NotCalibratedError("no monitor attached; call start_monitoring() first")
         return self._monitor
@@ -141,6 +143,7 @@ class CBES:
         self._profiles[profile.app_name] = profile
 
     def profile(self, app_name: str) -> ApplicationProfile:
+        """The stored profile for *app_name* (raises if never profiled)."""
         try:
             return self._profiles[app_name]
         except KeyError:
@@ -150,6 +153,7 @@ class CBES:
 
     @property
     def profiled_applications(self) -> list[str]:
+        """Names of every application with a profile in the database."""
         return sorted(self._profiles)
 
     def profile_application(
@@ -261,4 +265,6 @@ class CBES:
 class SchedulerLike(Protocol):
     """Anything that can pick a mapping given an evaluator and a node pool."""
 
-    def schedule(self, evaluator: MappingEvaluator, pool: list[str], *, seed: int = 0): ...
+    def schedule(self, evaluator: MappingEvaluator, pool: list[str], *, seed: int = 0):
+        """Pick a mapping for the evaluator's application from *pool*."""
+        ...

@@ -25,10 +25,10 @@ def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title:
     lines = []
     if title:
         lines.append(title)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths, strict=True)))
     lines.append(sep)
     for row in cells[1:]:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -32,6 +32,7 @@ class MoveGenerator:
 
     @property
     def pool(self) -> list[str]:
+        """The candidate node pool moves draw from (a copy)."""
         return list(self._pool)
 
     def neighbour(self, mapping: TaskMapping, rng: np.random.Generator) -> TaskMapping:

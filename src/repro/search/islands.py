@@ -136,7 +136,7 @@ def _ring_migrate(states: list[IslandState], migrants: int) -> None:
         worst_first = sorted(
             range(len(state.population)), key=lambda k: (-state.fitness[k], k)
         )
-        for slot, (member, fitness) in zip(worst_first, incoming):
+        for slot, (member, fitness) in zip(worst_first, incoming, strict=False):
             state.population[slot] = member
             state.fitness[slot] = fitness
 

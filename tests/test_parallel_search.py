@@ -144,7 +144,7 @@ class TestSaDeterminism:
         portfolio = ParallelPortfolio(1)
         two = portfolio.run_sa(spec, tasks(2)).outcomes
         four = portfolio.run_sa(spec, tasks(4)).outcomes
-        for a, b in zip(two, four):
+        for a, b in zip(two, four, strict=False):
             assert a.mapping == b.mapping
             assert a.energy == b.energy
             assert a.history == b.history

@@ -10,7 +10,7 @@ from repro.profiling.profile import (
 )
 
 
-def proc(rank, sends=(), recvs=(), X=10.0, O=1.0, B=2.0, lam=1.0):
+def proc(rank, sends=(), recvs=(), X=10.0, O=1.0, B=2.0, lam=1.0):  # noqa: E741 - paper's O term
     return ProcessProfile(
         rank=rank,
         own_time=X,

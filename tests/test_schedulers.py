@@ -66,7 +66,7 @@ class TestAnnealCore:
         """Distance-to-target energy over mappings of POOL."""
 
         def energy(mapping: TaskMapping) -> float:
-            return sum(1.0 for a, b in zip(mapping, target) if a != b)
+            return sum(1.0 for a, b in zip(mapping, target, strict=True) if a != b)
 
         return energy
 
@@ -124,7 +124,7 @@ class TestAnnealCore:
             MoveGenerator(POOL),
             rng,
         )
-        assert all(b <= a + 1e-12 for a, b in zip(history, history[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(history, history[1:], strict=False))
 
     def test_schedule_validation(self):
         for bad in (

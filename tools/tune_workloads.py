@@ -50,7 +50,7 @@ def main() -> None:
     svc = CBES(og)
     svc.calibrate(seed=1)
     A = og.nodes_by_arch("alpha-533")
-    I = og.nodes_by_arch("pii-400")
+    I = og.nodes_by_arch("pii-400")  # noqa: E741 - Intel zone, matches the paper's A/I/S naming
     S = og.nodes_by_arch("sparc-500")
 
     print("== latency spread ==")
