@@ -1,0 +1,106 @@
+"""Watch a live CBES daemon through its telemetry surface.
+
+The daemon exports everything an operator dashboard needs: Prometheus
+metrics at ``GET /v1/metrics`` (scrapeable by a real Prometheus), the
+same registry as JSON (``?format=json``), and recent request traces at
+``GET /v1/traces``.  This example boots an in-process daemon, pushes a
+small mix of scheduling and prediction jobs through it, and then renders
+a one-shot terminal "dashboard" from those two endpoints — the same
+round-trips ``repro metrics`` makes against a production daemon.
+
+Run:  python examples/telemetry_dashboard.py
+"""
+
+from repro import CBES
+from repro.cluster import single_switch
+from repro.server import DaemonThread, ServerError
+from repro.workloads import SyntheticBenchmark
+
+
+def build_service() -> tuple[CBES, str]:
+    """A calibrated 8-node service with one profiled application."""
+    service = CBES(single_switch("mini", 8))
+    service.calibrate(seed=2)
+    app = SyntheticBenchmark(comm_fraction=0.25, duration_s=3.0, steps=5)
+    service.profile_application(app, 4, seed=1)
+    return service, app.name
+
+
+def counter_total(metrics: dict, name: str) -> float:
+    """Sum a counter family across all of its label children."""
+    family = metrics.get(name, {"samples": []})
+    return sum(sample["value"] for sample in family["samples"])
+
+
+def render_dashboard(metrics: dict) -> None:
+    """A terminal snapshot of the numbers a Grafana panel would plot."""
+    requests = metrics["cbes_requests_total"]["samples"]
+    latency = metrics["cbes_request_seconds"]["samples"]
+    print("\n-- requests by route ------------------------------------")
+    for sample in requests:
+        labels = sample["labels"]
+        print(
+            f"  {labels['method']:4s} {labels['route']:<16s} "
+            f"status={labels['status']}  n={sample['value']:.0f}"
+        )
+    print("-- request latency --------------------------------------")
+    for sample in latency:
+        count = sample["count"]
+        mean_ms = (sample["sum"] / count * 1e3) if count else 0.0
+        print(f"  {sample['labels']['route']:<20s} n={count:<4d} mean={mean_ms:7.2f} ms")
+    print("-- scheduling work --------------------------------------")
+    print(f"  mapping evaluations: {counter_total(metrics, 'cbes_evaluations_total'):.0f}")
+    print(f"  SA moves:            {counter_total(metrics, 'cbes_sa_moves_total'):.0f}")
+    print("  jobs (kind/state):")
+    for sample in metrics["cbes_jobs_total"]["samples"]:
+        labels = sample["labels"]
+        print(f"    {labels['kind']:<9s} {labels['state']:<8s} {sample['value']:.0f}")
+    for gauge in ("cbes_queue_depth", "cbes_snapshot_age_seconds", "cbes_uptime_seconds"):
+        value = metrics[gauge]["samples"][0]["value"]
+        print(f"  {gauge:<26s} {value:.2f}")
+
+
+def render_traces(traces: list[dict]) -> None:
+    """Recent request traces as indented span trees."""
+    print("\n-- recent traces (newest first) -------------------------")
+
+    def show(span: dict, depth: int) -> None:
+        attrs = span["attributes"]
+        tags = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        print(f"  {'  ' * depth}{span['name']:<16s} {span['duration_s'] * 1e3:8.2f} ms  {tags}")
+        for child in span["children"]:
+            show(child, depth + 1)
+
+    for trace in traces:
+        show(trace, 0)
+
+
+def main() -> None:
+    service, app_name = build_service()
+    with DaemonThread(service, workers=2, queue_limit=8) as srv:
+        client = srv.client()
+        print(f"daemon up at http://{srv.host}:{srv.port}")
+
+        # Generate traffic: two searches, a prediction, and one 404 so
+        # the error path shows up in the request counters too.
+        client.schedule(app_name, scheduler="cs", seed=7)
+        client.schedule(app_name, scheduler="ga", seed=7)
+        client.predict(app_name, service.cluster.node_ids()[:4])
+        try:
+            client.job("j999999")
+        except ServerError:
+            pass
+
+        # What a Prometheus scrape sees (first lines only).
+        exposition = client.metrics_text()
+        print("\n-- /v1/metrics (Prometheus exposition, head) -------------")
+        for line in exposition.splitlines()[:6]:
+            print(f"  {line}")
+        print(f"  ... {len(exposition.splitlines())} lines total")
+
+        render_dashboard(client.metrics())
+        render_traces(client.traces(limit=3))
+
+
+if __name__ == "__main__":
+    main()

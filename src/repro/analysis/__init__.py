@@ -9,7 +9,7 @@ event loop), so this package enforces the invariants mechanically:
 
 * one parse + one AST walk per file feeds every registered checker
   (:mod:`repro.analysis.engine`);
-* the rule pack RPR100-RPR105 (:mod:`repro.analysis.checkers`);
+* the rule pack RPR100-RPR106 (:mod:`repro.analysis.checkers`);
 * inline ``# repro: disable=RPR###`` suppressions and a committed
   baseline for grandfathered findings (:mod:`repro.analysis.baseline`);
 * a CLI with text/JSON output and stable exit codes

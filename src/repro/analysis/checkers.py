@@ -1,4 +1,4 @@
-"""The project rule pack: RPR100-RPR105.
+"""The project rule pack: RPR100-RPR106.
 
 Each rule enforces an invariant the reproduction's headline claims rest
 on (see docs/ANALYSIS.md for the catalog with full rationale):
@@ -20,11 +20,17 @@ on (see docs/ANALYSIS.md for the catalog with full rationale):
   against the literals 0.0 / 1.0 / -1.0 are allowed).
 * RPR105 — API hygiene: public functions in ``repro.core`` and
   ``repro.schedulers`` carry docstrings and no mutable default args.
+* RPR106 — telemetry hygiene: metric names declared through
+  ``repro.telemetry`` registries are snake_case with the conventional
+  unit/kind suffixes (counters ``*_total``, histograms ``*_seconds`` /
+  ``*_bytes``), and label values never interpolate runtime data
+  (f-strings), which would mint unbounded label cardinality.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.analysis.engine import Checker, CheckerContext, register
 
@@ -35,6 +41,7 @@ __all__ = [
     "AsyncSafetyChecker",
     "FloatEqualityChecker",
     "ApiHygieneChecker",
+    "TelemetryHygieneChecker",
 ]
 
 
@@ -458,3 +465,91 @@ class ApiHygieneChecker(Checker):
         if not _has_docstring(node):
             where = f"{parent.name}.{node.name}" if isinstance(parent, ast.ClassDef) else node.name
             ctx.report(node, self.rule, f"public function {where}() is missing a docstring")
+
+
+@register
+class TelemetryHygieneChecker(Checker):
+    """RPR106: metric naming conventions and bounded label cardinality."""
+
+    rule = "RPR106"
+    name = "telemetry-hygiene"
+    rationale = "inconsistent names and unbounded labels make metrics unusable"
+
+    #: Metric declaration methods on a registry, keyed by required suffix
+    #: rule.  Counters must count (``*_total``); histograms must name
+    #: their unit; gauges are instantaneous so ``*_total`` is a lie.
+    DECLARATIONS = ("counter", "gauge", "histogram")
+    HISTOGRAM_SUFFIXES = ("_seconds", "_bytes")
+    #: Methods that take ``**labels``; their keyword values must not be
+    #: interpolated from runtime data.
+    LABELED_UPDATES = ("inc", "dec", "set", "observe", "labels")
+
+    _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+    def visit(self, node: ast.AST, parents: list[ast.AST], ctx: CheckerContext) -> None:
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        if method in self.DECLARATIONS:
+            self._check_declaration(node, method, ctx)
+        if method in self.LABELED_UPDATES:
+            self._check_label_values(node, method, ctx)
+
+    def _metric_name(self, node: ast.Call) -> str | None:
+        """The declared metric name, when statically known."""
+        candidates = list(node.args[:1]) + [kw.value for kw in node.keywords if kw.arg == "name"]
+        for arg in candidates:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+        return None
+
+    def _check_declaration(self, node: ast.Call, kind: str, ctx: CheckerContext) -> None:
+        name = self._metric_name(node)
+        if name is None:
+            return
+        if not self._NAME_RE.match(name):
+            ctx.report(
+                node,
+                self.rule,
+                f"metric name {name!r} is not snake_case ([a-z][a-z0-9_]*)",
+            )
+            return
+        if kind == "counter" and not name.endswith("_total"):
+            ctx.report(
+                node,
+                self.rule,
+                f"counter {name!r} must end in '_total' (it only ever increases)",
+            )
+        elif kind == "histogram" and not name.endswith(self.HISTOGRAM_SUFFIXES):
+            ctx.report(
+                node,
+                self.rule,
+                f"histogram {name!r} must name its unit "
+                f"(suffix one of {', '.join(self.HISTOGRAM_SUFFIXES)})",
+            )
+        elif kind == "gauge" and name.endswith("_total"):
+            ctx.report(
+                node,
+                self.rule,
+                f"gauge {name!r} must not end in '_total'; "
+                "an instantaneous reading is not a running count",
+            )
+
+    def _check_label_values(self, node: ast.Call, method: str, ctx: CheckerContext) -> None:
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            value = kw.value
+            dynamic = isinstance(value, ast.JoinedStr) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "format"
+            )
+            if dynamic:
+                ctx.report(
+                    value,
+                    self.rule,
+                    f"label {kw.arg}={{interpolated string}} passed to .{method}(); "
+                    "interpolating runtime data into label values mints unbounded "
+                    "cardinality — use a fixed label set (e.g. a route template)",
+                )

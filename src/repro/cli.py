@@ -362,6 +362,35 @@ def cmd_jobs(args) -> int:
         raise SystemExit(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}") from None
 
 
+def cmd_metrics(args) -> int:
+    client = _client(args)
+    try:
+        if args.raw:
+            print(client.metrics_text(), end="")
+            return 0
+        metrics = client.metrics()
+    except ServerError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}") from None
+    for name, family in metrics.items():
+        print(f"{name} ({family['type']})")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            tag = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if family["type"] == "histogram":
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                print(f"  {tag or '(all)'}  count={count}  mean={mean * 1e3:.2f} ms")
+            else:
+                print(f"  {tag or '(all)'}  {sample['value']:g}")
+    return 0
+
+
 # -- parser ---------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -470,6 +499,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-wait", action="store_true", help="print the job id and return")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("metrics", help="pretty-print a running daemon's metrics")
+    add_endpoint_args(p)
+    p.add_argument(
+        "--raw", action="store_true", help="print the Prometheus text exposition verbatim"
+    )
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("jobs", help="list a running daemon's jobs")
     add_endpoint_args(p)

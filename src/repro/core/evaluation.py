@@ -194,10 +194,16 @@ class MappingEvaluator:
         """
         from repro.core.fast_eval import EvaluationContext
 
+        from repro.telemetry import get_registry
+
         opts = options if options is not None else self._options
         key = (opts, self._snapshot.fingerprint())
         context = self._fast_contexts.get(key)
         if context is None:
+            get_registry().counter(
+                "cbes_context_builds_total",
+                "EvaluationContext cache misses (fast-path precompute rebuilds).",
+            ).inc()
             context = EvaluationContext(
                 self._profile, self._latency, self._nodes, self._snapshot, opts
             )

@@ -250,6 +250,8 @@ class CBES:
         schedulers without a ``set_execution`` hook only accept the
         defaults.
         """
+        from repro.telemetry import get_tracer
+
         if parallel is not None or time_budget is not None:
             set_execution = getattr(scheduler, "set_execution", None)
             if set_execution is None:
@@ -257,8 +259,15 @@ class CBES:
                     f"scheduler {scheduler!r} does not support execution options"
                 )
             set_execution(parallel=parallel, time_budget=time_budget)
-        evaluator = self.evaluator(app_name, options=options)
-        return scheduler.schedule(evaluator, list(pool), seed=seed)
+        with get_tracer().trace(
+            "cbes.schedule",
+            app=app_name,
+            scheduler=getattr(scheduler, "name", type(scheduler).__name__),
+            pool=len(pool),
+            seed=seed,
+        ):
+            evaluator = self.evaluator(app_name, options=options)
+            return scheduler.schedule(evaluator, list(pool), seed=seed)
 
 
 @runtime_checkable

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.mapping import TaskMapping
 from repro.schedulers.moves import MoveGenerator
+from repro.telemetry import get_registry
 
 __all__ = ["AnnealingSchedule", "CostBound", "anneal", "supports_incremental"]
 
@@ -145,6 +146,10 @@ def anneal(
 
     history: list[float] = []
     stale = 0
+    # Move outcomes are tallied in local ints and recorded in one batch
+    # after the loop: the inner loop is the search hot path and must not
+    # pay a registry call per move.
+    accepted = rejected = 0
     if bound is not None:
         bound.update(best_cost)
     for _ in range(schedule.steps):
@@ -165,11 +170,14 @@ def anneal(
                 if incremental:
                     energy.commit()
                 current, current_cost = candidate, candidate_cost
+                accepted += 1
                 if current_cost < best_cost:
                     best, best_cost = current, current_cost
                     improved = True
-            elif incremental:
-                energy.reject()
+            else:
+                rejected += 1
+                if incremental:
+                    energy.reject()
         history.append(sign * best_cost)
         temperature *= schedule.cooling
         stale = 0 if improved else stale + 1
@@ -177,4 +185,14 @@ def anneal(
             bound.update(best_cost)
         if stale >= schedule.patience:
             break
+
+    registry = get_registry()
+    moves_total = registry.counter(
+        "cbes_sa_moves_total", "SA move outcomes across all chains.", ("outcome",)
+    )
+    moves_total.inc(accepted, outcome="accepted")
+    moves_total.inc(rejected, outcome="rejected")
+    registry.counter(
+        "cbes_sa_steps_total", "Completed SA temperature steps."
+    ).inc(len(history))
     return best, sign * best_cost, history

@@ -21,6 +21,7 @@ import numpy as np
 from repro._util import spawn_rng
 from repro.core.evaluation import MappingEvaluator
 from repro.core.mapping import TaskMapping
+from repro.telemetry import get_registry, get_tracer
 
 __all__ = ["ScheduleResult", "Scheduler", "MappingConstraint", "random_mapping"]
 
@@ -123,8 +124,11 @@ class Scheduler(ABC):
             )
         start_evals = evaluator.evaluations
         started = time.perf_counter()
-        mapping, predicted, history = self._run(evaluator, pool, seed)
-        return ScheduleResult(
+        with get_tracer().trace(
+            "scheduler.run", scheduler=self.name, pool=len(pool), seed=seed
+        ) as span:
+            mapping, predicted, history = self._run(evaluator, pool, seed)
+        result = ScheduleResult(
             mapping=mapping,
             predicted_time=predicted,
             evaluations=evaluator.evaluations - start_evals,
@@ -132,6 +136,21 @@ class Scheduler(ABC):
             scheduler=self.name,
             history=history,
         )
+        span.set_attribute("evaluations", result.evaluations)
+        span.set_attribute("predicted_time", result.predicted_time)
+        registry = get_registry()
+        registry.counter(
+            "cbes_evaluations_total", "Mapping evaluations consumed by scheduling."
+        ).inc(result.evaluations)
+        registry.histogram(
+            "cbes_schedule_seconds", "Wall time of one schedule() call.", ("scheduler",)
+        ).observe(result.wall_time_s, scheduler=self.name)
+        registry.gauge(
+            "cbes_search_best_energy",
+            "Best predicted execution time found by the last run.",
+            ("scheduler",),
+        ).set(result.predicted_time, scheduler=self.name)
+        return result
 
     @abstractmethod
     def _run(

@@ -26,6 +26,7 @@ from repro.core.fast_eval import FastEvalUnavailable
 from repro.core.mapping import TaskMapping
 from repro.schedulers.base import MappingConstraint, Scheduler, make_rng
 from repro.schedulers.moves import MoveGenerator
+from repro.telemetry import get_registry
 
 __all__ = ["GeneticParams", "GeneticScheduler", "ga_generation"]
 
@@ -182,12 +183,15 @@ class GeneticScheduler(Scheduler):
         fitness = [fit(m) for m in population]
         history = [min(fitness)]
         stale = 0
+        generations_done = 0
+        gen_started = time.perf_counter()
         for _ in range(p.generations):
             if deadline is not None and time.monotonic() >= deadline:
                 break
             population, fitness = ga_generation(
                 population, fitness, fit, p, moves, pool, rng, self.feasible
             )
+            generations_done += 1
             best_now = min(fitness)
             if best_now < history[-1] - 1e-12:
                 stale = 0
@@ -196,6 +200,15 @@ class GeneticScheduler(Scheduler):
             history.append(min(best_now, history[-1]))
             if stale >= p.patience:
                 break
+        # Batched: one registry touch per run, not per generation.
+        registry = get_registry()
+        registry.counter(
+            "cbes_ga_generations_total", "GA generations evolved across all islands."
+        ).inc(generations_done)
+        if generations_done:
+            registry.histogram(
+                "cbes_ga_generation_seconds", "Mean wall time per serial GA generation."
+            ).observe((time.perf_counter() - gen_started) / generations_done)
         best_idx = int(np.argmin(fitness))
         return population[best_idx], fitness[best_idx], history
 

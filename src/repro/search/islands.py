@@ -28,6 +28,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro._util import spawn_rng
 from repro.core.mapping import TaskMapping
 from repro.schedulers.genetic import GeneticParams
@@ -94,6 +95,7 @@ def run_island_ga(
             span = min(migration_interval, generations - done)
             tasks = [GaEpochTask(state, params, span, deadline) for state in states]
             states = mapper(tasks)
+            _drain_metrics(states)
             done += span
             if done < generations:
                 _ring_migrate(states, migrants)
@@ -110,11 +112,25 @@ def run_island_ga(
             max_workers=nworkers,
             mp_context=ctx,
             initializer=_initialize_worker,
-            initargs=(spec, None, 0.0),
+            initargs=(spec, None, 0.0, telemetry.enabled()),
         ) as executor:
             states = epochs(lambda tasks: list(executor.map(_run_ga_epoch_task, tasks)))
 
     return _reduce(states)
+
+
+def _drain_metrics(states: list[IslandState]) -> None:
+    """Fold each island's epoch telemetry into the ambient registry.
+
+    Applied in island order at every epoch barrier (deterministic across
+    worker counts) and cleared so a delta never rides back out to the
+    workers with the next epoch's state.
+    """
+    registry = telemetry.get_registry()
+    for state in states:
+        if state.metrics is not None:
+            registry.apply_delta(state.metrics)
+            state.metrics = None
 
 
 def _ring_migrate(states: list[IslandState], migrants: int) -> None:

@@ -24,6 +24,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.fast_eval import EvaluationContext
 from repro.core.mapping import TaskMapping
 from repro.search.bound import LocalBound
@@ -127,7 +128,7 @@ class ParallelPortfolio:
             max_workers=min(self._workers, len(tasks)),
             mp_context=ctx,
             initializer=_initialize_worker,
-            initargs=(spec, bound_value, self._margin),
+            initargs=(spec, bound_value, self._margin, telemetry.enabled()),
         ) as executor:
             # Executor.map preserves task order regardless of which
             # worker finishes first — half of the determinism story.
@@ -139,6 +140,12 @@ def reduce_outcomes(outcomes: list[SaOutcome], direction: str) -> PortfolioResul
     sign = 1.0 if direction == "minimize" else -1.0
     ordered = sorted(outcomes, key=lambda o: o.index)
     best = min(ordered, key=lambda o: (sign * o.energy, o.index))
+    # Fold each task's telemetry into the ambient registry in task-index
+    # order — deterministic regardless of worker count or finish order.
+    registry = telemetry.get_registry()
+    for outcome in ordered:
+        if outcome.metrics is not None:
+            registry.apply_delta(outcome.metrics)
     history: list[float] = []
     for outcome in ordered:
         history.extend(outcome.history)

@@ -20,10 +20,11 @@ shared ctypes cannot travel through the task queue.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import spawn_rng
 from repro.core.fast_eval import (
     EvaluationContext,
@@ -36,6 +37,7 @@ from repro.schedulers.genetic import GeneticParams, ga_generation
 from repro.schedulers.moves import MoveGenerator
 from repro.search.bound import SharedBound
 from repro.search.spec import SearchSpec, draw_initial_mapping, greedy_mapping
+from repro.telemetry import MetricsDelta, MetricsRegistry
 
 __all__ = [
     "SaTask",
@@ -77,6 +79,10 @@ class SaOutcome:
     energy: float
     history: tuple[float, ...]
     evaluations: int
+    #: Telemetry recorded while running this task (None when disabled).
+    #: The reducer merges deltas in task-index order, so aggregates are
+    #: independent of worker count.
+    metrics: MetricsDelta | None = None
 
 
 @dataclass
@@ -94,6 +100,10 @@ class IslandState:
     fitness: list[float] | None = None
     history: list[float] = field(default_factory=list)
     evaluations: int = 0
+    #: Telemetry recorded during the *last* epoch only (None when
+    #: disabled); the master drains it after each epoch barrier so it is
+    #: never shipped back to the workers.
+    metrics: MetricsDelta | None = None
 
 
 @dataclass(frozen=True)
@@ -115,10 +125,17 @@ class TaskRunner:
         *,
         bound: CostBound | None = None,
         context: EvaluationContext | None = None,
+        telemetry_enabled: bool | None = None,
     ):
         self.spec = spec
         self.bound = bound
         self.count = 0
+        # Decided once at construction: worker processes inherit the
+        # master's setting through the pool initializer (the ambient
+        # registry itself does not cross process boundaries).
+        self.telemetry_enabled = (
+            telemetry.enabled() if telemetry_enabled is None else telemetry_enabled
+        )
         self._incremental: IncrementalEvaluator | None = None
         self._evaluator = None
         if spec.use_fast_path:
@@ -148,8 +165,28 @@ class TaskRunner:
             return self._incremental
         return self._reference_energy
 
+    # -- task telemetry --------------------------------------------------
+    def _record_task(self, registry, kind: str, seconds: float) -> None:
+        registry.counter(
+            "cbes_search_tasks_total", "Search tasks executed by runners.", ("kind",)
+        ).inc(kind=kind)
+        registry.histogram(
+            "cbes_search_task_seconds", "Wall time of one search task.", ("kind",)
+        ).observe(seconds, kind=kind)
+
     # -- SA restarts ----------------------------------------------------
     def run_sa(self, task: SaTask) -> SaOutcome:
+        """Run one SA restart; attaches a MetricsDelta when telemetry is on."""
+        if not self.telemetry_enabled:
+            return self._run_sa(task)
+        local = MetricsRegistry()
+        started = time.perf_counter()
+        with telemetry.use_registry(local):
+            outcome = self._run_sa(task)
+            self._record_task(local, "sa-restart", time.perf_counter() - started)
+        return replace(outcome, metrics=local.collect_delta())
+
+    def _run_sa(self, task: SaTask) -> SaOutcome:
         start_count = self.count
         rng = spawn_rng(task.seed, *task.rng_parts)
         moves = MoveGenerator(list(self.spec.pool), swap_probability=task.swap_probability)
@@ -179,6 +216,18 @@ class TaskRunner:
 
     # -- GA island epochs -----------------------------------------------
     def run_ga_epoch(self, task: GaEpochTask) -> IslandState:
+        """Evolve one island epoch; attaches a MetricsDelta when telemetry is on."""
+        if not self.telemetry_enabled:
+            return self._run_ga_epoch(task)
+        local = MetricsRegistry()
+        started = time.perf_counter()
+        with telemetry.use_registry(local):
+            state = self._run_ga_epoch(task)
+            self._record_task(local, "ga-epoch", time.perf_counter() - started)
+        state.metrics = local.collect_delta()
+        return state
+
+    def _run_ga_epoch(self, task: GaEpochTask) -> IslandState:
         state = task.state
         p = task.params
         start_count = self.count
@@ -194,6 +243,7 @@ class TaskRunner:
         else:
             population = list(state.population)
             fitness = list(state.fitness)
+        generations_done = 0
         for _ in range(task.generations):
             if task.deadline is not None and time.monotonic() >= task.deadline:
                 break
@@ -201,6 +251,10 @@ class TaskRunner:
                 population, fitness, fit, p, moves, pool, rng, self.spec.feasible
             )
             history.append(min(min(fitness), history[-1]))
+            generations_done += 1
+        telemetry.get_registry().counter(
+            "cbes_ga_generations_total", "GA generations evolved across all islands."
+        ).inc(generations_done)
         return IslandState(
             index=state.index,
             rng=rng,
@@ -215,11 +269,13 @@ class TaskRunner:
 _RUNNER: TaskRunner | None = None
 
 
-def _initialize_worker(spec: SearchSpec, bound_value, margin: float) -> None:
+def _initialize_worker(
+    spec: SearchSpec, bound_value, margin: float, telemetry_enabled: bool = False
+) -> None:
     """Pool initializer: build this worker's runner once, reuse per task."""
     global _RUNNER
     bound = SharedBound(bound_value, margin) if bound_value is not None else None
-    _RUNNER = TaskRunner(spec, bound=bound)
+    _RUNNER = TaskRunner(spec, bound=bound, telemetry_enabled=telemetry_enabled)
 
 
 def _run_sa_task(task: SaTask) -> SaOutcome:

@@ -82,9 +82,35 @@ class CbesClient:
         finally:
             conn.close()
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Fetch a non-JSON (plain text) endpoint body."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServerError(response.status, "error", raw[:200].decode("latin-1"))
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     # -- plain endpoints ------------------------------------------------
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        """The daemon's metric registry as a structured JSON dump."""
+        return self._request("GET", "/v1/metrics?format=json")["metrics"]
+
+    def metrics_text(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return self._request_text("GET", "/v1/metrics")
+
+    def traces(self, limit: int | None = None) -> list[dict]:
+        """Recently completed traces, newest first."""
+        path = "/v1/traces" if limit is None else f"/v1/traces?limit={limit}"
+        return self._request("GET", path)["traces"]
 
     def snapshot(self) -> dict:
         return self._request("GET", "/v1/snapshot")["snapshot"]

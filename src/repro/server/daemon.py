@@ -32,13 +32,22 @@ import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 
+from urllib.parse import parse_qs
+
+from repro import telemetry
 from repro.core.evaluation import EvaluationOptions
 from repro.core.fast_eval import EvaluationContext, FastEvalUnavailable
 from repro.core.mapping import TaskMapping
 from repro.core.service import CBES
 from repro.schedulers import make_scheduler
 from repro.server.jobs import Job, JobStore
-from repro.server.protocol import ApiError, HttpRequest, read_request, render_response
+from repro.server.protocol import (
+    ApiError,
+    HttpRequest,
+    RawResponse,
+    read_request,
+    render_response,
+)
 from repro.server.serialize import (
     options_from_dict,
     prediction_to_dict,
@@ -46,6 +55,7 @@ from repro.server.serialize import (
     snapshot_to_dict,
     validate_job_payload,
 )
+from repro.telemetry.export import PROMETHEUS_CONTENT_TYPE, to_prometheus
 
 __all__ = ["CbesDaemon", "DaemonThread"]
 
@@ -82,6 +92,15 @@ class CbesDaemon:
         When given, the daemon owns the service's monitor lifecycle: a
         failed snapshot refresh stops and restarts monitoring with these
         ``CBES.start_monitoring`` keyword arguments.
+    metrics, tracer:
+        The telemetry sinks this daemon records into (defaults: fresh
+        instances).  :meth:`start` installs them as the process-global
+        ambient telemetry so scheduler/search instrumentation running on
+        worker threads lands in the same registry; they are surfaced at
+        ``GET /v1/metrics`` and ``GET /v1/traces``.
+    max_traces:
+        Ring-buffer size of the default tracer (ignored when *tracer*
+        is given).
     """
 
     def __init__(
@@ -96,6 +115,9 @@ class CbesDaemon:
         refresh_interval_s: float | None = None,
         drain_timeout_s: float = 30.0,
         monitor_kwargs: dict | None = None,
+        metrics: telemetry.MetricsRegistry | None = None,
+        tracer: telemetry.Tracer | None = None,
+        max_traces: int = 64,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -112,7 +134,11 @@ class CbesDaemon:
         self._drain_timeout = drain_timeout_s
         self._monitor_kwargs = dict(monitor_kwargs) if monitor_kwargs else None
 
-        self._store = JobStore(ttl_s=job_ttl_s)
+        self._metrics = metrics if metrics is not None else telemetry.MetricsRegistry()
+        self._tracer = tracer if tracer is not None else telemetry.Tracer(max_traces=max_traces)
+        self._snapshot_adopted_at: float | None = None
+        self._instrument()
+        self._store = JobStore(ttl_s=job_ttl_s, on_evict=self._on_job_evicted)
         self._queue: asyncio.Queue[Job] | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -152,6 +178,68 @@ class CbesDaemon:
         """How many times the refresh task swapped in a fresher snapshot."""
         return self._snapshot_refreshes
 
+    @property
+    def metrics(self) -> telemetry.MetricsRegistry:
+        """The registry served at ``GET /v1/metrics``."""
+        return self._metrics
+
+    @property
+    def tracer(self) -> telemetry.Tracer:
+        """The tracer served at ``GET /v1/traces``."""
+        return self._tracer
+
+    # -- telemetry ------------------------------------------------------
+    def _instrument(self) -> None:
+        """Declare this daemon's metric families once, up front."""
+        m = self._metrics
+        self._m_requests = m.counter(
+            "cbes_requests_total", "HTTP requests served.", ("method", "route", "status")
+        )
+        self._m_request_seconds = m.histogram(
+            "cbes_request_seconds", "HTTP request latency.", ("route",)
+        )
+        self._m_jobs = m.counter(
+            "cbes_jobs_total", "Job state transitions.", ("kind", "state")
+        )
+        self._m_job_seconds = m.histogram(
+            "cbes_job_seconds", "Job execution wall time.", ("kind",)
+        )
+        self._m_evicted = m.counter(
+            "cbes_jobs_evicted_total", "Terminal jobs dropped by TTL eviction."
+        )
+        self._m_refreshes = m.counter(
+            "cbes_snapshot_refreshes_total", "Snapshot generations adopted."
+        )
+        m.gauge(
+            "cbes_queue_depth",
+            "Jobs waiting for a worker.",
+            callback=lambda: self._queue.qsize() if self._queue is not None else 0,
+        )
+        m.gauge(
+            "cbes_queue_limit",
+            "Bound of the job queue (429 beyond it).",
+            callback=lambda: self._queue_limit,
+        )
+        m.gauge(
+            "cbes_snapshot_age_seconds",
+            "Seconds since the serving snapshot was adopted.",
+            callback=lambda: (
+                time.monotonic() - self._snapshot_adopted_at
+                if self._snapshot_adopted_at is not None
+                else 0.0
+            ),
+        )
+        m.gauge(
+            "cbes_uptime_seconds",
+            "Seconds since the daemon started.",
+            callback=lambda: (
+                time.monotonic() - self._started_at if self._started_at is not None else 0.0
+            ),
+        )
+
+    def _on_job_evicted(self, job: Job, age_s: float) -> None:
+        self._m_evicted.inc()
+
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind the listener and start workers + the refresh task."""
@@ -160,6 +248,11 @@ class CbesDaemon:
         self._loop = asyncio.get_running_loop()
         self._shutdown_requested = asyncio.Event()
         self._snapshot = self._service.snapshot().freeze()
+        self._snapshot_adopted_at = time.monotonic()
+        # Worker threads (and any in-process scheduler) record into this
+        # daemon's registry through the ambient global fallback.
+        telemetry.set_registry(self._metrics)
+        telemetry.set_tracer(self._tracer)
         self._queue = asyncio.Queue(maxsize=self._queue_limit)
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="cbes-job"
@@ -227,6 +320,10 @@ class CbesDaemon:
         assert self._executor is not None
         self._executor.shutdown(wait=True)
         self._server = None
+        if telemetry.get_registry() is self._metrics:
+            telemetry.set_registry(None)
+        if telemetry.get_tracer() is self._tracer:
+            telemetry.set_tracer(None)
         log.info("daemon stopped (drained=%s, jobs=%s)", drain, self._store.counts())
 
     async def serve_forever(self) -> None:
@@ -271,7 +368,9 @@ class CbesDaemon:
             ]
             for key in stale:
                 del self._contexts[key]
+        self._snapshot_adopted_at = time.monotonic()
         self._snapshot_refreshes += 1
+        self._m_refreshes.inc()
         log.info(
             "snapshot refreshed (fingerprint %s, %d stale context(s) dropped)",
             fingerprint[:12],
@@ -310,6 +409,7 @@ class CbesDaemon:
     async def _run_job(self, job: Job) -> None:
         assert self._loop is not None
         self._store.mark_running(job.id)
+        self._m_jobs.inc(kind=job.kind, state="running")
         queued_for = (job.started_at or 0.0) - job.created_at
         log.info("job %s (%s, req=%s) started after %.1f ms queued",
                  job.id, job.kind, job.request_id, queued_for * 1e3)
@@ -318,12 +418,17 @@ class CbesDaemon:
             result = await self._loop.run_in_executor(self._executor, self._execute, job)
         except asyncio.CancelledError:
             self._store.mark_failed(job.id, "daemon shut down while the job ran")
+            self._m_jobs.inc(kind=job.kind, state="failed")
             raise
         except Exception as exc:  # noqa: BLE001 - job errors become job state
             self._store.mark_failed(job.id, f"{type(exc).__name__}: {exc}")
+            self._m_jobs.inc(kind=job.kind, state="failed")
+            self._m_job_seconds.observe(time.perf_counter() - started, kind=job.kind)
             log.warning("job %s failed: %s: %s", job.id, type(exc).__name__, exc)
         else:
             self._store.mark_done(job.id, result)
+            self._m_jobs.inc(kind=job.kind, state="done")
+            self._m_job_seconds.observe(time.perf_counter() - started, kind=job.kind)
             log.info(
                 "job %s done in %.1f ms", job.id, (time.perf_counter() - started) * 1e3
             )
@@ -348,23 +453,33 @@ class CbesDaemon:
         """Run one job on a worker thread; returns the JSON result doc."""
         payload = job.payload
         app = payload["app"]
-        options = options_from_dict(payload.get("options"))
-        snapshot = self._snapshot  # one atomic read: jobs see one generation
-        evaluator = self._service.evaluator(app, options=options, snapshot=snapshot)
-        if job.kind == "schedule":
-            self._context_for(app, options, snapshot, evaluator)
-            scheduler = make_scheduler(
-                payload["scheduler"],
-                parallel=payload.get("workers", 1),
-                time_budget=payload.get("time_budget"),
-            )
-            result = scheduler.schedule(evaluator, payload["pool"], seed=payload["seed"])
-            doc = schedule_result_to_dict(result)
-        elif job.kind == "predict":
-            doc = prediction_to_dict(evaluator.predict(TaskMapping(payload["nodes"])))
-        else:  # compare
-            ranked = evaluator.compare([TaskMapping(m) for m in payload["mappings"]])
-            doc = {"ranked": [prediction_to_dict(p) for p in ranked]}
+        with self._tracer.trace(
+            "cbes.job", job_id=job.id, kind=job.kind, app=app, request_id=job.request_id
+        ) as span:
+            options = options_from_dict(payload.get("options"))
+            snapshot = self._snapshot  # one atomic read: jobs see one generation
+            evaluator = self._service.evaluator(app, options=options, snapshot=snapshot)
+            if job.kind == "schedule":
+                self._context_for(app, options, snapshot, evaluator)
+                scheduler = make_scheduler(
+                    payload["scheduler"],
+                    parallel=payload.get("workers", 1),
+                    time_budget=payload.get("time_budget"),
+                )
+                result = scheduler.schedule(evaluator, payload["pool"], seed=payload["seed"])
+                doc = schedule_result_to_dict(result)
+            elif job.kind == "predict":
+                doc = prediction_to_dict(evaluator.predict(TaskMapping(payload["nodes"])))
+            else:  # compare
+                ranked = evaluator.compare([TaskMapping(m) for m in payload["mappings"]])
+                doc = {"ranked": [prediction_to_dict(p) for p in ranked]}
+            if job.kind != "schedule":
+                # Schedule jobs are counted by Scheduler.schedule itself;
+                # counting here too would double the evaluations.
+                self._metrics.counter(
+                    "cbes_evaluations_total", "Mapping evaluations consumed by scheduling."
+                ).inc(evaluator.evaluations)
+            span.set_attribute("evaluations", evaluator.evaluations)
         doc["snapshot_fingerprint"] = snapshot.fingerprint()
         return doc
 
@@ -375,31 +490,42 @@ class CbesDaemon:
         request_id = uuid.uuid4().hex[:8]
         started = time.perf_counter()
         method, path = "-", "-"
+        status: int | None = None
         try:
             try:
-                request = await read_request(reader)
-                if request is None:
-                    return
-                method, path = request.method, request.path
-                status, payload, headers = self._dispatch(request, request_id)
-            except ApiError as exc:
-                status, payload, headers = exc.status, exc.to_payload(), exc.headers
-            except Exception:  # noqa: BLE001 - never leak a traceback to the wire
-                log.exception("unhandled error serving %s %s", method, path)
-                status = 500
-                payload = {"error": {"code": "internal", "message": "internal server error"}}
-                headers = {}
-            headers["X-Request-Id"] = request_id
-            writer.write(render_response(status, payload, headers=headers))
-            await writer.drain()
-            access_log.info(
-                "req=%s %s %s -> %d (%.1f ms)",
-                request_id,
-                method,
-                path,
-                status,
-                (time.perf_counter() - started) * 1e3,
-            )
+                try:
+                    request = await read_request(reader)
+                    if request is None:
+                        return  # clean EOF on an idle connection: nothing served
+                    method, path = request.method, request.path
+                    status, payload, headers = self._dispatch(request, request_id)
+                except ApiError as exc:
+                    status, payload, headers = exc.status, exc.to_payload(), exc.headers
+                except Exception:  # noqa: BLE001 - never leak a traceback to the wire
+                    log.exception("unhandled error serving %s %s", method, path)
+                    status = 500
+                    payload = {"error": {"code": "internal", "message": "internal server error"}}
+                    headers = {}
+                headers["X-Request-Id"] = request_id
+                writer.write(render_response(status, payload, headers=headers))
+                await writer.drain()
+            finally:
+                # Accounting runs on EVERY served response — 429
+                # backpressure, errors, clients that reset mid-write —
+                # so latency and the per-route counters never undercount.
+                if status is not None:
+                    elapsed = time.perf_counter() - started
+                    route = self._route_of(path)
+                    self._m_requests.inc(method=method, route=route, status=status)
+                    self._m_request_seconds.observe(elapsed, route=route)
+                    access_log.info(
+                        "req=%s %s %s -> %d (%.1f ms)",
+                        request_id,
+                        method,
+                        path,
+                        status,
+                        elapsed * 1e3,
+                    )
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-response
         finally:
@@ -409,9 +535,28 @@ class CbesDaemon:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    def _dispatch(self, request: HttpRequest, request_id: str) -> tuple[int, dict, dict]:
+    #: Fixed route set for metric labels; anything else collapses into
+    #: one bucket so a client cannot mint unbounded label cardinality.
+    _ROUTES = ("/v1/jobs", "/v1/healthz", "/v1/snapshot", "/v1/profiles", "/v1/metrics", "/v1/traces")
+
+    @classmethod
+    def _route_of(cls, path: str) -> str:
+        """Collapse a request path to its route template."""
+        path = path.partition("?")[0].rstrip("/") or "/"
+        if path in cls._ROUTES:
+            return path
+        if path.startswith("/v1/jobs/"):
+            return "/v1/jobs/{id}"
+        return "(unmatched)"
+
+    def _dispatch(
+        self, request: HttpRequest, request_id: str
+    ) -> tuple[int, dict | RawResponse, dict]:
         """Route one request; returns (status, payload, headers)."""
-        method, path = request.method, request.path.rstrip("/") or "/"
+        method = request.method
+        path, _, query_string = request.path.partition("?")
+        path = path.rstrip("/") or "/"
+        query = parse_qs(query_string)
         if path == "/v1/jobs":
             if method == "POST":
                 return self._submit(request, request_id)
@@ -437,6 +582,19 @@ class CbesDaemon:
             return 200, {"snapshot": snapshot_to_dict(self._snapshot)}, {}
         if path == "/v1/profiles":
             return 200, {"applications": self._service.profiled_applications}, {}
+        if path == "/v1/metrics":
+            if query.get("format", [""])[0] == "json":
+                return 200, {"metrics": self._metrics.snapshot()}, {}
+            text = to_prometheus(self._metrics)
+            return 200, RawResponse(text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE), {}
+        if path == "/v1/traces":
+            limit = None
+            if "limit" in query:
+                try:
+                    limit = int(query["limit"][0])
+                except ValueError:
+                    raise ApiError(400, "bad-request", "limit must be an integer") from None
+            return 200, {"traces": self._tracer.traces(limit)}, {}
         raise ApiError(404, "not-found", f"no route for {path}")
 
     def _submit(self, request: HttpRequest, request_id: str) -> tuple[int, dict, dict]:

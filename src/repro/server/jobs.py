@@ -14,6 +14,7 @@ worker threads drive the status transitions.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from collections.abc import Callable
@@ -21,6 +22,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 __all__ = ["JobState", "JobStateError", "Job", "JobStore"]
+
+log = logging.getLogger("repro.server.jobs")
 
 
 class JobState(str, Enum):
@@ -97,13 +100,24 @@ class JobStore:
         queued or running are never evicted.
     clock:
         Injectable monotonic time source (tests use a fake clock).
+    on_evict:
+        Called as ``on_evict(job, age_s)`` for every job dropped by
+        :meth:`evict_expired` (the daemon counts them), where *age_s* is
+        how long past its ``finished_at`` the job lived.
     """
 
-    def __init__(self, *, ttl_s: float = 600.0, clock: Callable[[], float] = time.monotonic):
+    def __init__(
+        self,
+        *,
+        ttl_s: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_evict: Callable[["Job", float], None] | None = None,
+    ):
         if ttl_s <= 0:
             raise ValueError("ttl_s must be > 0")
         self._ttl = float(ttl_s)
         self._clock = clock
+        self._on_evict = on_evict
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
@@ -177,16 +191,38 @@ class JobStore:
 
     # -- eviction -------------------------------------------------------
     def evict_expired(self) -> int:
-        """Drop finished jobs older than the TTL; returns how many."""
-        deadline = self._clock() - self._ttl
+        """Drop finished jobs older than the TTL; returns how many.
+
+        Evictions are observable: each one is logged at DEBUG and
+        reported through ``on_evict``, so a polling client that finds a
+        404 can be correlated with the eviction that caused it.
+        """
+        now = self._clock()
+        deadline = now - self._ttl
         with self._lock:
             expired = [
-                jid
-                for jid, job in self._jobs.items()
+                job
+                for job in self._jobs.values()
                 if job.state.is_terminal
                 and job.finished_at is not None
                 and job.finished_at <= deadline
             ]
-            for jid in expired:
-                del self._jobs[jid]
+            for job in expired:
+                del self._jobs[job.id]
+        # Logging and callbacks run outside the lock: neither may block
+        # create()/get() on the event loop.
+        for job in expired:
+            # The selection above guarantees finished_at is set; a plain
+            # `or` fallback would misread a legitimate 0.0 timestamp.
+            age = now - (job.finished_at if job.finished_at is not None else now)
+            log.debug(
+                "evicted job %s (%s, state=%s) finished %.1f s ago (ttl=%.1f s)",
+                job.id,
+                job.kind,
+                job.state.value,
+                age,
+                self._ttl,
+            )
+            if self._on_evict is not None:
+                self._on_evict(job, age)
         return len(expired)

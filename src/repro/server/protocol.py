@@ -12,7 +12,7 @@ import asyncio
 import json
 from dataclasses import dataclass, field
 
-__all__ = ["ApiError", "HttpRequest", "read_request", "render_response"]
+__all__ = ["ApiError", "HttpRequest", "RawResponse", "read_request", "render_response"]
 
 #: Upper bounds keeping one misbehaving client from ballooning memory.
 MAX_HEADER_BYTES = 32 * 1024
@@ -48,6 +48,18 @@ class ApiError(Exception):
 
     def to_payload(self) -> dict:
         return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass(frozen=True)
+class RawResponse:
+    """A non-JSON response body with its own content type.
+
+    Used by the metrics endpoint, whose Prometheus text exposition must
+    go out verbatim rather than JSON-encoded.
+    """
+
+    body: bytes
+    content_type: str = "text/plain; charset=utf-8"
 
 
 @dataclass
@@ -125,14 +137,23 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
 
 
 def render_response(
-    status: int, payload: dict, *, headers: dict[str, str] | None = None
+    status: int, payload: dict | RawResponse, *, headers: dict[str, str] | None = None
 ) -> bytes:
-    """Serialize a JSON response (connection-close semantics)."""
-    body = json.dumps(payload).encode("utf-8")
+    """Serialize a response (connection-close semantics).
+
+    *payload* is normally a JSON-ready dict; a :class:`RawResponse`
+    ships its bytes verbatim under its own content type.
+    """
+    if isinstance(payload, RawResponse):
+        body = payload.body
+        content_type = payload.content_type
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]

@@ -1,0 +1,531 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+Design constraints (why this is not just a dict of floats):
+
+* **Thread-safe, cheap updates.**  The daemon's event loop, its job
+  worker threads, and in-process schedulers all record concurrently.
+  Updates go through a small pool of *striped* locks — a child metric is
+  pinned to one stripe by the hash of its identity, so unrelated metrics
+  rarely contend while one metric's read-modify-write stays atomic.
+* **Deterministic output.**  :meth:`MetricsRegistry.snapshot` sorts
+  metrics by name and samples by label values, so exports (and the tests
+  that diff parallel-vs-serial aggregates) are byte-stable.
+* **Cross-process aggregation.**  Search worker processes cannot share
+  the master's registry; they record into a private registry and ship a
+  picklable :class:`MetricsDelta` back with each task result.  Deltas
+  carry counters and histograms only (gauges are instantaneous readings
+  and do not sum), and merging them is associative, so the aggregate is
+  independent of the worker count.
+* **Zero cost when disabled.**  :class:`NullRegistry` mirrors the whole
+  API with shared no-op children; instrumented code never branches on
+  "is telemetry on" — it just records into whatever registry is ambient.
+
+Stdlib only; no numpy in this package.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsDelta",
+    "MetricsRegistry",
+    "NullRegistry",
+]
+
+
+class MetricError(ValueError):
+    """A metric was declared or used inconsistently."""
+
+
+#: Default histogram bucket upper bounds (seconds): spans sub-millisecond
+#: evaluation work through minute-long scheduling searches.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_STRIPES = 16
+
+
+def _validate_name(name: str) -> None:
+    if not _NAME_RE.match(name):
+        raise MetricError(
+            f"metric/label name {name!r} must be snake_case ([a-z][a-z0-9_]*)"
+        )
+
+
+class _Family:
+    """One named metric: a set of children keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], object] = {}
+        self._family_lock = threading.Lock()
+
+    # -- label resolution ----------------------------------------------
+    def _labelvalues(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[ln]) for ln in self.labelnames)
+
+    def labels(self, **labels: object):
+        """The child metric for one concrete label-value assignment."""
+        values = self._labelvalues(labels)
+        child = self._children.get(values)
+        if child is None:
+            with self._family_lock:
+                child = self._children.get(values)
+                if child is None:
+                    lock = self._registry._stripe_for(self.name, values)
+                    child = self._make_child(lock)
+                    self._children[values] = child
+        return child
+
+    def _make_child(self, lock: threading.Lock):
+        raise NotImplementedError
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._family_lock:
+            return sorted(self._children.items())
+
+    def _label_dict(self, values: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.labelnames, values, strict=True))
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Counter(_Family):
+    """A monotonically increasing count (name convention: ``*_total``)."""
+
+    kind = "counter"
+
+    def _make_child(self, lock: threading.Lock) -> _CounterChild:
+        return _CounterChild(lock)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Increment the child selected by **labels** by *amount*."""
+        self.labels(**labels).inc(amount)
+
+    def samples(self) -> list[dict]:
+        """JSON-ready samples, sorted by label values."""
+        return [
+            {"labels": self._label_dict(values), "value": child.value}
+            for values, child in self._sorted_children()
+        ]
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge reading."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by *amount* (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by *amount*."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Family):
+    """An instantaneous reading that can go up and down.
+
+    A gauge may instead be declared with a *callback*: the registry
+    evaluates it at snapshot time, so readings like "queue depth" or
+    "snapshot age" are always current without an updater loop.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help, labelnames, callback=None):
+        if callback is not None and labelnames:
+            raise MetricError(f"{name}: callback gauges cannot have labels")
+        super().__init__(registry, name, help, labelnames)
+        self.callback = callback
+
+    def _make_child(self, lock: threading.Lock) -> _GaugeChild:
+        return _GaugeChild(lock)
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the child selected by **labels** to *value*."""
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Increment the child selected by **labels**."""
+        self.labels(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Decrement the child selected by **labels**."""
+        self.labels(**labels).dec(amount)
+
+    def samples(self) -> list[dict]:
+        """JSON-ready samples (evaluating the callback if there is one)."""
+        if self.callback is not None:
+            try:
+                value = float(self.callback())
+            except Exception:  # noqa: BLE001 - a broken callback must not kill a scrape
+                value = float("nan")
+            return [{"labels": {}, "value": value}]
+        return [
+            {"labels": self._label_dict(values), "value": child.value}
+            for values, child in self._sorted_children()
+        ]
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "counts", "sum", "count")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]):
+        self._lock = lock
+        self._bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its (non-cumulative) bucket."""
+        i = bisect_left(self._bounds, value)
+        with self._lock:
+            self.counts[i] += 1
+            self.sum += value
+            self.count += 1
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (name convention: a unit suffix).
+
+    Buckets are upper bounds, ascending; observations land in the first
+    bucket whose bound is >= the value (an implicit ``+Inf`` bucket
+    catches the rest).  Exposition is cumulative, Prometheus-style.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames, buckets=DEFAULT_BUCKETS):
+        super().__init__(registry, name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError(f"{name}: histogram needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise MetricError(f"{name}: buckets must be strictly ascending")
+        self.buckets = bounds
+
+    def _make_child(self, lock: threading.Lock) -> _HistogramChild:
+        return _HistogramChild(lock, self.buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the child selected by **labels**."""
+        self.labels(**labels).observe(value)
+
+    def samples(self) -> list[dict]:
+        """JSON-ready samples with *cumulative* bucket counts."""
+        out = []
+        for values, child in self._sorted_children():
+            with child._lock:
+                counts = list(child.counts)
+                total, running = child.sum, child.count
+            cumulative: list[list[float]] = []
+            acc = 0
+            for bound, n in zip(self.buckets, counts, strict=False):
+                acc += n
+                cumulative.append([bound, acc])
+            out.append(
+                {
+                    "labels": self._label_dict(values),
+                    "buckets": cumulative,
+                    "sum": total,
+                    "count": running,
+                }
+            )
+        return out
+
+
+@dataclass
+class MetricsDelta:
+    """A picklable additive summary of one registry's counters/histograms.
+
+    Produced by :meth:`MetricsRegistry.collect_delta` in a worker
+    process, merged into the master registry by
+    :meth:`MetricsRegistry.apply_delta`.  Merging is associative and
+    label-keyed, so the final aggregate does not depend on how tasks
+    were distributed over workers.  Gauges are deliberately absent: an
+    instantaneous reading from a finished worker has no meaningful sum.
+    """
+
+    #: (name, labelnames) -> {labelvalues: value}
+    counters: dict[tuple[str, tuple[str, ...]], dict[tuple[str, ...], float]] = field(
+        default_factory=dict
+    )
+    #: (name, labelnames, bounds) -> {labelvalues: [counts..., sum, count]}
+    histograms: dict[
+        tuple[str, tuple[str, ...], tuple[float, ...]],
+        dict[tuple[str, ...], tuple[tuple[int, ...], float, int]],
+    ] = field(default_factory=dict)
+    #: name -> help string (so a merge can declare missing metrics).
+    helps: dict[str, str] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsDelta") -> "MetricsDelta":
+        """Fold *other* into this delta in place; returns ``self``."""
+        for key, children in other.counters.items():
+            mine = self.counters.setdefault(key, {})
+            for values, amount in children.items():
+                mine[values] = mine.get(values, 0.0) + amount
+        for key, children in other.histograms.items():
+            mine_h = self.histograms.setdefault(key, {})
+            for values, (counts, total, n) in children.items():
+                if values in mine_h:
+                    old_counts, old_total, old_n = mine_h[values]
+                    counts = tuple(a + b for a, b in zip(old_counts, counts, strict=True))
+                    total += old_total
+                    n += old_n
+                mine_h[values] = (counts, total, n)
+        self.helps.update(other.helps)
+        return self
+
+    @property
+    def empty(self) -> bool:
+        """Whether this delta carries no samples at all."""
+        return not self.counters and not self.histograms
+
+
+class MetricsRegistry:
+    """A process-local collection of named metrics.
+
+    Declaring a metric is idempotent: asking for an existing name
+    returns the existing family (and validates that the kind and label
+    names agree), so call sites can declare-and-use without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Family] = {}
+        self._meta_lock = threading.Lock()
+        self._stripes = tuple(threading.Lock() for _ in range(_STRIPES))
+
+    def _stripe_for(self, name: str, labelvalues: tuple[str, ...]) -> threading.Lock:
+        return self._stripes[hash((name, labelvalues)) % _STRIPES]
+
+    # -- declaration ----------------------------------------------------
+    def _declare(self, cls: type, name: str, help: str, labelnames, **extra):
+        _validate_name(name)
+        labelnames = tuple(labelnames)
+        for ln in labelnames:
+            _validate_name(ln)
+        with self._meta_lock:
+            family = self._metrics.get(name)
+            if family is not None:
+                if not isinstance(family, cls) or type(family) is not cls:
+                    raise MetricError(
+                        f"{name} is already declared as a {family.kind}, not a {cls.kind}"
+                    )
+                if family.labelnames != labelnames:
+                    raise MetricError(
+                        f"{name} is already declared with labels {family.labelnames}"
+                    )
+                return family
+            family = cls(self, name, help, labelnames, **extra)
+            self._metrics[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        """Declare (or fetch) a counter family."""
+        return self._declare(Counter, name, help, labelnames)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> Gauge:
+        """Declare (or fetch) a gauge family, optionally callback-backed."""
+        return self._declare(Gauge, name, help, labelnames, callback=callback)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Declare (or fetch) a fixed-bucket histogram family."""
+        return self._declare(Histogram, name, help, labelnames, buckets=tuple(buckets))
+
+    # -- output ---------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Deterministic JSON-ready dump: ``{name: {type, help, samples}}``."""
+        with self._meta_lock:
+            families = sorted(self._metrics.items())
+        return {
+            name: {
+                "type": family.kind,
+                "help": family.help,
+                "samples": family.samples(),
+            }
+            for name, family in families
+        }
+
+    # -- cross-process aggregation --------------------------------------
+    def collect_delta(self) -> MetricsDelta:
+        """This registry's counters and histograms as an additive delta."""
+        delta = MetricsDelta()
+        with self._meta_lock:
+            families = sorted(self._metrics.items())
+        for name, family in families:
+            if isinstance(family, Counter):
+                children = {
+                    values: child.value for values, child in family._sorted_children()
+                }
+                if children:
+                    delta.counters[(name, family.labelnames)] = children
+                    delta.helps[name] = family.help
+            elif isinstance(family, Histogram):
+                children = {}
+                for values, child in family._sorted_children():
+                    with child._lock:
+                        children[values] = (tuple(child.counts), child.sum, child.count)
+                if children:
+                    delta.histograms[(name, family.labelnames, family.buckets)] = children
+                    delta.helps[name] = family.help
+        return delta
+
+    def apply_delta(self, delta: MetricsDelta) -> None:
+        """Add a worker's :class:`MetricsDelta` into this registry."""
+        for (name, labelnames), children in sorted(delta.counters.items()):
+            family = self.counter(name, delta.helps.get(name, ""), labelnames)
+            for values, amount in sorted(children.items()):
+                child = family.labels(**dict(zip(labelnames, values, strict=True)))
+                with child._lock:
+                    child._value += amount
+        for (name, labelnames, bounds), children in sorted(delta.histograms.items()):
+            family = self.histogram(name, delta.helps.get(name, ""), labelnames, bounds)
+            for values, (counts, total, n) in sorted(children.items()):
+                child = family.labels(**dict(zip(labelnames, values, strict=True)))
+                with child._lock:
+                    for i, c in enumerate(counts):
+                        child.counts[i] += c
+                    child.sum += total
+                    child.count += n
+
+
+# -- the disabled path ---------------------------------------------------
+class _NullChild:
+    """Answers the whole child API with no-ops; shared singleton."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """No-op."""
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """No-op."""
+
+    def set(self, value: float, **labels: object) -> None:
+        """No-op."""
+
+    def observe(self, value: float, **labels: object) -> None:
+        """No-op."""
+
+    def labels(self, **labels: object) -> "_NullChild":
+        """No-op; returns itself so chained calls stay cheap."""
+        return self
+
+
+_NULL_CHILD = _NullChild()
+
+
+class NullRegistry:
+    """API-compatible no-op registry: the default when telemetry is off.
+
+    Every declaration returns one shared no-op child, so instrumented
+    code pays a dictionary-free method call at declaration sites and
+    nothing at all in loops that batch their updates.
+    """
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> _NullChild:
+        """No-op counter."""
+        return _NULL_CHILD
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> _NullChild:
+        """No-op gauge."""
+        return _NULL_CHILD
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> _NullChild:
+        """No-op histogram."""
+        return _NULL_CHILD
+
+    def snapshot(self) -> dict[str, dict]:
+        """Always empty."""
+        return {}
+
+    def collect_delta(self) -> MetricsDelta:
+        """Always empty."""
+        return MetricsDelta()
+
+    def apply_delta(self, delta: MetricsDelta) -> None:
+        """Dropped."""

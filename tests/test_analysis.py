@@ -45,7 +45,7 @@ def rule_ids(findings: list[Finding]) -> set[str]:
 
 
 def test_registry_contains_full_rule_pack():
-    assert {"RPR100", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105"} <= set(
+    assert {"RPR100", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106"} <= set(
         registered_checkers()
     )
 
@@ -327,6 +327,73 @@ def test_rpr105_out_of_scope_module_is_exempt():
 
 
 # ---------------------------------------------------------------------------
+# RPR106 telemetry hygiene
+
+
+def test_rpr106_flags_counter_without_total_suffix():
+    source = 'registry.counter("cbes_things", help="things seen")\n'
+    findings = check(source, module="repro.server.custom")
+    assert [f for f in findings if f.rule == "RPR106" and "_total" in f.message]
+
+
+def test_rpr106_flags_histogram_without_unit_suffix():
+    source = 'registry.histogram("cbes_latency", help="latency")\n'
+    findings = check(source, module="repro.server.custom")
+    assert [f for f in findings if f.rule == "RPR106" and "unit" in f.message]
+
+
+def test_rpr106_flags_gauge_ending_in_total():
+    source = 'registry.gauge("cbes_depth_total", help="queue depth")\n'
+    findings = check(source, module="repro.server.custom")
+    assert [f for f in findings if f.rule == "RPR106" and "instantaneous" in f.message]
+
+
+def test_rpr106_flags_non_snake_case_name():
+    source = 'registry.counter("cbesRequests_total")\n'
+    findings = check(source)
+    assert [f for f in findings if f.rule == "RPR106" and "snake_case" in f.message]
+
+
+def test_rpr106_flags_dynamic_label_values():
+    source = """\
+        def record(counter, hist, path, jid):
+            counter.inc(route=f"/v1/jobs/{jid}")
+            hist.observe(0.2, route="/v1/jobs/{}".format(jid))
+        """
+    findings = [f for f in check(source, module="repro.server.custom") if f.rule == "RPR106"]
+    assert len(findings) == 2
+    assert all("label" in f.message for f in findings)
+
+
+def test_rpr106_accepts_conforming_instrumentation():
+    source = """\
+        def instrument(registry, route):
+            requests = registry.counter("cbes_requests_total", labelnames=("route",))
+            registry.gauge("cbes_queue_depth", help="jobs waiting")
+            seconds = registry.histogram("cbes_request_seconds")
+            requests.inc(route=route)
+            seconds.observe(0.01, route=route)
+        """
+    assert "RPR106" not in rule_ids(check(source, module="repro.server.custom"))
+
+
+def test_rpr106_ignores_dynamic_metric_names_and_unrelated_calls():
+    # A name the checker cannot resolve statically is left alone, as are
+    # unrelated attribute calls that happen to share a method name.
+    source = """\
+        def f(registry, options, name):
+            registry.counter(name)
+            options.set(retries=3)
+        """
+    assert "RPR106" not in rule_ids(check(source, module="repro.server.custom"))
+
+
+def test_rpr106_inline_suppression():
+    source = 'registry.counter("cbes_things")  # repro: disable=RPR106\n'
+    assert "RPR106" not in rule_ids(check(source, module="repro.server.custom"))
+
+
+# ---------------------------------------------------------------------------
 # baseline workflow
 
 
@@ -425,7 +492,7 @@ def test_cli_fix_baseline_then_clean(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert cli_run(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RPR100", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105"):
+    for rule in ("RPR100", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106"):
         assert rule in out
 
 

@@ -133,3 +133,29 @@ class TestTtlEviction:
     def test_invalid_ttl_rejected(self):
         with pytest.raises(ValueError):
             JobStore(ttl_s=0.0)
+
+    def test_eviction_reports_each_job_through_on_evict(self, clock):
+        """Satellite fix: evictions are observable, not silent."""
+        seen: list[tuple[str, float]] = []
+        store = JobStore(
+            ttl_s=10.0, clock=clock, on_evict=lambda job, age: seen.append((job.id, age))
+        )
+        a = store.create("schedule", {})
+        b = store.create("predict", {})
+        store.mark_running(a.id)
+        store.mark_done(a.id, {})
+        store.mark_failed(b.id, "x")
+        clock.advance(25.0)
+        assert store.evict_expired() == 2
+        assert {jid for jid, _ in seen} == {a.id, b.id}
+        assert all(age == 25.0 for _, age in seen)
+
+    def test_eviction_logs_job_id_and_age_at_debug(self, store, clock, caplog):
+        job = store.create("schedule", {})
+        store.mark_running(job.id)
+        store.mark_done(job.id, {})
+        clock.advance(12.5)
+        with caplog.at_level("DEBUG", logger="repro.server.jobs"):
+            assert store.evict_expired() == 1
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(job.id in m and "12.5" in m for m in messages)

@@ -1,0 +1,593 @@
+"""Tests for repro.telemetry: metrics, tracing, exporters, and the wiring.
+
+Four layers are covered:
+
+* **Primitives** — registry declaration rules, thread-safe exact counting,
+  histogram bucket boundaries, callback gauges, and the Null no-ops.
+* **Exporters** — Prometheus text exposition (escaping, cumulative
+  buckets) and the JSON dump agree with ``snapshot()``.
+* **Aggregation** — ``MetricsDelta`` pickles, merges associatively, and
+  keeps search-side counters identical between ``parallel=1`` and
+  ``parallel=N`` runs (the PR 3 determinism contract, extended to
+  telemetry).
+* **Surface** — the daemon's ``/v1/metrics`` + ``/v1/traces`` endpoints,
+  the access-log/metrics guarantee on error responses, and the
+  ``repro metrics`` CLI.
+"""
+
+import math
+import pickle
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.cluster import single_switch
+from repro.core import CBES
+from repro.schedulers import make_scheduler
+from repro.server import DaemonThread, ServerError
+from repro.telemetry import (
+    MetricError,
+    MetricsDelta,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    Tracer,
+    to_json,
+    to_prometheus,
+    use_registry,
+)
+from repro.workloads import SyntheticBenchmark
+
+# ---------------------------------------------------------------------------
+# registry primitives
+
+
+class TestRegistry:
+    def test_declaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("cbes_things_total", help="things", labelnames=("kind",))
+        again = registry.counter("cbes_things_total", help="ignored", labelnames=("kind",))
+        assert first is again
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("cbes_things_total")
+        with pytest.raises(MetricError, match="already declared as a counter"):
+            registry.gauge("cbes_things_total")  # repro: disable=RPR106
+
+    def test_labelname_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("cbes_things_total", labelnames=("kind",))
+        with pytest.raises(MetricError, match="already declared with labels"):
+            registry.counter("cbes_things_total", labelnames=("other",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("CamelCase")  # repro: disable=RPR106
+        with pytest.raises(MetricError):
+            registry.counter("cbes_ok_total", labelnames=("Bad-Label",))
+
+    def test_wrong_label_set_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cbes_things_total", labelnames=("kind",))
+        with pytest.raises(MetricError, match="expected labels"):
+            counter.inc(flavor="x")
+        with pytest.raises(MetricError, match="expected labels"):
+            counter.inc()  # labels required but omitted
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="only increase"):
+            registry.counter("cbes_things_total").labels().inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("cbes_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert registry.snapshot()["cbes_depth"]["samples"][0]["value"] == 3.0
+
+    def test_callback_gauge_reads_live_and_survives_breakage(self):
+        registry = MetricsRegistry()
+        box = {"value": 1.0}
+        registry.gauge("cbes_live", callback=lambda: box["value"])
+        assert registry.snapshot()["cbes_live"]["samples"][0]["value"] == 1.0
+        box["value"] = 7.5
+        assert registry.snapshot()["cbes_live"]["samples"][0]["value"] == 7.5
+
+        registry.gauge("cbes_broken", callback=lambda: 1 / 0)
+        sample = registry.snapshot()["cbes_broken"]["samples"][0]
+        assert math.isnan(sample["value"])  # a broken callback must not kill a scrape
+
+    def test_callback_gauge_with_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="callback gauges"):
+            registry.gauge("cbes_live", labelnames=("kind",), callback=lambda: 1.0)
+
+    def test_concurrent_increments_count_exactly(self):
+        """Acceptance: lock-striped updates lose nothing under contention."""
+        registry = MetricsRegistry()
+        counter = registry.counter("cbes_hits_total", labelnames=("worker",))
+        histogram = registry.histogram("cbes_lat_seconds", buckets=(0.5, 1.0))
+        threads, per_thread = 8, 2000
+
+        def hammer(worker_id: int) -> None:
+            for i in range(per_thread):
+                counter.inc(worker=worker_id % 2)
+                histogram.observe(0.25 if i % 2 else 0.75)
+
+        pool = [threading.Thread(target=hammer, args=(t,)) for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        snap = registry.snapshot()
+        totals = [s["value"] for s in snap["cbes_hits_total"]["samples"]]
+        assert totals == [threads // 2 * per_thread, threads // 2 * per_thread]
+        hist = snap["cbes_lat_seconds"]["samples"][0]
+        assert hist["count"] == threads * per_thread
+        assert hist["buckets"] == [
+            [0.5, threads * per_thread // 2],
+            [1.0, threads * per_thread],
+        ]
+
+    def test_histogram_bucket_boundaries_are_le_inclusive(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("cbes_lat_seconds", buckets=(0.1, 1.0))
+        child = histogram.labels()
+        child.observe(0.1)  # exactly on a bound -> that bucket
+        child.observe(0.1000001)  # just over -> next bucket
+        child.observe(50.0)  # beyond the last bound -> +Inf only
+        sample = registry.snapshot()["cbes_lat_seconds"]["samples"][0]
+        assert sample["buckets"] == [[0.1, 1], [1.0, 2]]  # cumulative
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(50.2000001)
+
+    def test_histogram_rejects_bad_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="at least one"):
+            registry.histogram("cbes_a_seconds", buckets=())
+        with pytest.raises(MetricError, match="ascending"):
+            registry.histogram("cbes_b_seconds", buckets=(1.0, 0.5))
+
+    def test_snapshot_is_sorted_and_deterministic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cbes_z_total", labelnames=("kind",))
+        registry.counter("cbes_a_total").labels().inc()
+        counter.inc(kind="zebra")
+        counter.inc(kind="ant")
+        snap = registry.snapshot()
+        assert list(snap) == ["cbes_a_total", "cbes_z_total"]
+        kinds = [s["labels"]["kind"] for s in snap["cbes_z_total"]["samples"]]
+        assert kinds == ["ant", "zebra"]
+
+
+class TestNullImplementations:
+    def test_null_registry_is_api_compatible_noop(self):
+        registry = NullRegistry()
+        child = registry.counter("cbes_things_total", labelnames=("kind",))
+        child.inc(kind="x")
+        child.labels(kind="x").inc()
+        registry.gauge("cbes_depth").set(4)
+        registry.histogram("cbes_lat_seconds").observe(0.5)
+        assert registry.snapshot() == {}
+        assert registry.collect_delta().empty
+        registry.apply_delta(MetricsDelta())  # dropped, no error
+
+    def test_null_tracer_is_api_compatible_noop(self):
+        tracer = NullTracer()
+        with tracer.trace("anything", key="value") as span:
+            span.set_attribute("more", 1)
+        assert tracer.traces() == []
+        assert tracer.current_span() is None
+
+    def test_ambient_defaults_to_disabled(self):
+        assert not telemetry.enabled()
+        assert isinstance(telemetry.get_registry(), NullRegistry)
+
+    def test_use_registry_enables_within_context_only(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert telemetry.enabled()
+            assert telemetry.get_registry() is registry
+        assert not telemetry.enabled()
+
+    def test_set_registry_global_fallback_and_context_override(self):
+        global_registry, local_registry = MetricsRegistry(), MetricsRegistry()
+        telemetry.set_registry(global_registry)
+        try:
+            assert telemetry.get_registry() is global_registry
+            with use_registry(local_registry):
+                assert telemetry.get_registry() is local_registry
+            assert telemetry.get_registry() is global_registry
+        finally:
+            telemetry.set_registry(None)
+        assert not telemetry.enabled()
+
+
+# ---------------------------------------------------------------------------
+# exporters
+
+
+class TestExporters:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "cbes_requests_total", help='requests "served"\nby route', labelnames=("route",)
+        )
+        counter.inc(route='/v1/"x"\\y\nz')
+        registry.histogram("cbes_lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        registry.gauge("cbes_depth", help="queue depth").set(3)
+        return registry
+
+    def test_prometheus_text_structure(self):
+        text = to_prometheus(self.make_registry())
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "# TYPE cbes_requests_total counter" in lines
+        assert "# TYPE cbes_lat_seconds histogram" in lines
+        assert "# TYPE cbes_depth gauge" in lines
+        assert "cbes_depth 3" in lines
+        # Cumulative buckets, the +Inf catch-all, and sum/count lines.
+        assert 'cbes_lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'cbes_lat_seconds_bucket{le="1"} 1' in lines
+        assert 'cbes_lat_seconds_bucket{le="+Inf"} 1' in lines
+        assert "cbes_lat_seconds_sum 0.05" in lines
+        assert "cbes_lat_seconds_count 1" in lines
+
+    def test_prometheus_escaping(self):
+        text = to_prometheus(self.make_registry())
+        # Label values escape backslash, quote, and newline.
+        assert '{route="/v1/\\"x\\"\\\\y\\nz"}' in text
+        # Help text escapes backslash and newline but NOT quotes.
+        assert '# HELP cbes_requests_total requests "served"\\nby route' in text
+
+    def test_prometheus_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert to_prometheus(NullRegistry()) == ""
+
+    def test_json_agrees_with_snapshot(self):
+        import json
+
+        registry = self.make_registry()
+        tracer = Tracer()
+        with tracer.trace("root"):
+            pass
+        doc = json.loads(to_json(registry, tracer))
+        assert doc["metrics"] == registry.snapshot()
+        assert [t["name"] for t in doc["traces"]] == ["root"]
+
+
+# ---------------------------------------------------------------------------
+# spans
+
+
+class TestSpans:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.trace("root", app="lu.A") as root:
+            assert tracer.current_span() is root
+            with tracer.trace("child") as child:
+                child.set_attribute("n", 3)
+            with tracer.trace("sibling"):
+                pass
+        assert tracer.current_span() is None
+
+        traces = tracer.traces()
+        assert len(traces) == 1
+        tree = traces[0]
+        assert tree["name"] == "root"
+        assert tree["attributes"] == {"app": "lu.A"}
+        assert [c["name"] for c in tree["children"]] == ["child", "sibling"]
+        assert tree["children"][0]["attributes"] == {"n": 3}
+        # Children share the root's trace id but have their own span ids.
+        ids = {tree["span_id"]} | {c["span_id"] for c in tree["children"]}
+        assert len(ids) == 3
+        assert all(c["trace_id"] == tree["trace_id"] for c in tree["children"])
+        assert tree["duration_s"] >= max(c["duration_s"] for c in tree["children"])
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("root"):
+                with tracer.trace("inner"):
+                    raise RuntimeError("boom")
+        tree = tracer.traces()[0]
+        assert tree["status"] == "error"
+        assert tree["children"][0]["status"] == "error"
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = Tracer(max_traces=3)
+        for i in range(5):
+            with tracer.trace(f"t{i}"):
+                pass
+        assert [t["name"] for t in tracer.traces()] == ["t4", "t3", "t2"]
+        assert [t["name"] for t in tracer.traces(limit=1)] == ["t4"]
+        tracer.clear()
+        assert tracer.traces() == []
+
+    def test_threads_do_not_interleave(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(tag: str) -> None:
+            with tracer.trace(f"root-{tag}"):
+                barrier.wait(timeout=5)
+                with tracer.trace(f"child-{tag}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = {t["name"]: t for t in tracer.traces()}
+        assert set(roots) == {"root-a", "root-b"}
+        for tag in ("a", "b"):
+            assert [c["name"] for c in roots[f"root-{tag}"]["children"]] == [f"child-{tag}"]
+
+
+# ---------------------------------------------------------------------------
+# cross-process aggregation
+
+
+def observe_workload(registry: MetricsRegistry, items: range) -> None:
+    counter = registry.counter("cbes_work_total", help="work", labelnames=("kind",))
+    histogram = registry.histogram("cbes_work_seconds", buckets=(0.1, 1.0))
+    for i in items:
+        counter.inc(kind="even" if i % 2 == 0 else "odd")
+        histogram.observe((i % 20) / 10.0)
+
+
+class TestMetricsDelta:
+    def test_collect_apply_round_trip(self):
+        source = MetricsRegistry()
+        observe_workload(source, range(50))
+        source.gauge("cbes_depth").set(9)  # gauges never travel
+
+        target = MetricsRegistry()
+        target.apply_delta(source.collect_delta())
+        expected = {k: v for k, v in source.snapshot().items() if k != "cbes_depth"}
+        assert target.snapshot() == expected
+
+    def test_delta_pickles(self):
+        source = MetricsRegistry()
+        observe_workload(source, range(10))
+        delta = pickle.loads(pickle.dumps(source.collect_delta()))
+        target = MetricsRegistry()
+        target.apply_delta(delta)
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_is_independent_of_partitioning(self):
+        """The aggregate must not depend on how work landed on workers."""
+
+        def partitioned(cuts: list[int]) -> dict:
+            bounds = [0, *cuts, 100]
+            merged = MetricsDelta()
+            for lo, hi in zip(bounds, bounds[1:], strict=False):
+                worker = MetricsRegistry()
+                observe_workload(worker, range(lo, hi))
+                merged.merge(worker.collect_delta())
+            target = MetricsRegistry()
+            target.apply_delta(merged)
+            return target.snapshot()
+
+        serial = partitioned([])
+        assert partitioned([50]) == serial
+        assert partitioned([13, 50, 51, 90]) == serial
+
+    def test_empty_property(self):
+        assert MetricsDelta().empty
+        registry = MetricsRegistry()
+        registry.gauge("cbes_depth").set(1)
+        assert registry.collect_delta().empty  # gauges alone -> still empty
+        registry.counter("cbes_x_total").labels().inc()
+        assert not registry.collect_delta().empty
+
+
+class TestSearchDeterminism:
+    """parallel=1 vs parallel=N: identical results AND identical counters."""
+
+    @pytest.fixture(scope="class")
+    def evaluator_and_pool(self):
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+        from bench_incremental_eval import build_workload
+
+        return build_workload(10, 5)
+
+    @staticmethod
+    def run_with_metrics(evaluator, pool, name: str, parallel: int, **kwargs):
+        registry = MetricsRegistry()
+        scheduler = make_scheduler(name, parallel=parallel, **kwargs)
+        ev = evaluator.with_snapshot(evaluator.snapshot)
+        with use_registry(registry):
+            result = scheduler.schedule(ev, pool, seed=13)
+        snap = registry.snapshot()
+        counters = {
+            metric: [(tuple(sorted(s["labels"].items())), s["value"]) for s in family["samples"]]
+            for metric, family in snap.items()
+            if family["type"] == "counter"
+            # Master-side cache telemetry is inherently process-local: the
+            # inline path rebuilds one context where N workers build N.
+            and metric != "cbes_context_builds_total"
+        }
+        key = (result.mapping.as_tuple(), result.predicted_time, result.evaluations)
+        return key, counters
+
+    def test_sa_portfolio_counters_agree_across_degrees(self, evaluator_and_pool):
+        evaluator, pool = evaluator_and_pool
+        one = self.run_with_metrics(evaluator, pool, "cs", 1, restarts=2)
+        two = self.run_with_metrics(evaluator, pool, "cs", 2, restarts=2)
+        assert one == two
+        _, counters = one
+        assert counters["cbes_evaluations_total"][0][1] > 0
+        assert "cbes_sa_moves_total" in counters
+        assert "cbes_search_tasks_total" in counters
+
+    def test_ga_islands_counters_agree_across_degrees(self, evaluator_and_pool):
+        evaluator, pool = evaluator_and_pool
+        one = self.run_with_metrics(evaluator, pool, "ga", 1, islands=2)
+        two = self.run_with_metrics(evaluator, pool, "ga", 2, islands=2)
+        assert one == two
+        _, counters = one
+        assert counters["cbes_ga_generations_total"][0][1] > 0
+
+
+# ---------------------------------------------------------------------------
+# the daemon surface
+
+
+def make_service() -> tuple[CBES, str]:
+    service = CBES(single_switch("mini", 6))
+    service.calibrate(seed=2)
+    app = SyntheticBenchmark(comm_fraction=0.2, duration_s=2.0, steps=4)
+    service.profile_application(app, 3, seed=1)
+    return service, app.name
+
+
+@pytest.fixture(scope="module")
+def service_and_app():
+    return make_service()
+
+
+@pytest.fixture(scope="module")
+def server(service_and_app):
+    service, _ = service_and_app
+    with DaemonThread(service, workers=2, queue_limit=8) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return server.client()
+
+
+@pytest.fixture(scope="module")
+def scheduled(client, service_and_app):
+    """One completed schedule job, so job/search metrics are non-zero."""
+    _, app_name = service_and_app
+    return client.schedule(app_name, scheduler="cs", seed=7)
+
+
+REQUIRED_METRICS = (
+    "cbes_requests_total",
+    "cbes_request_seconds",
+    "cbes_queue_depth",
+    "cbes_snapshot_age_seconds",
+    "cbes_evaluations_total",
+    "cbes_jobs_total",
+    "cbes_uptime_seconds",
+)
+
+
+class TestDaemonSurface:
+    def test_prometheus_endpoint_exposes_required_metrics(self, client, scheduled):
+        text = client.metrics_text()
+        for name in REQUIRED_METRICS:
+            assert name in text, f"missing {name}"
+        # Well-formed exposition: every non-comment line is `name[{labels}] value`.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                sample, _, value = line.rpartition(" ")
+                assert sample
+                float(value)
+        assert '{kind="schedule",state="done"}' in text
+
+    def test_json_endpoint_matches_structure(self, client, scheduled):
+        metrics = client.metrics()
+        assert metrics["cbes_requests_total"]["type"] == "counter"
+        assert metrics["cbes_request_seconds"]["type"] == "histogram"
+        sample = metrics["cbes_request_seconds"]["samples"][0]
+        assert sample["count"] >= 1 and sample["sum"] > 0
+
+    def test_evaluations_counter_changes_across_jobs(self, client, service_and_app, scheduled):
+        service, app_name = service_and_app
+
+        def evaluations() -> float:
+            samples = client.metrics()["cbes_evaluations_total"]["samples"]
+            return sum(s["value"] for s in samples)
+
+        before = evaluations()
+        assert before > 0
+        client.predict(app_name, list(service.cluster.node_ids())[:3])
+        assert evaluations() > before
+
+    def test_error_responses_are_counted_and_logged(self, client, caplog):
+        """Satellite fix: the 404 path still produces metrics + access log."""
+        with caplog.at_level("INFO", logger="repro.server.access"):
+            with pytest.raises(ServerError):
+                client.job("j999999")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if any("404" in r.getMessage() for r in caplog.records):
+                    break
+                time.sleep(0.01)
+        assert any(
+            "/v1/jobs/j999999" in r.getMessage() and "404" in r.getMessage()
+            for r in caplog.records
+        )
+        text = client.metrics_text()
+        assert 'cbes_requests_total{method="GET",route="/v1/jobs/{id}",status="404"}' in text
+
+    def test_routes_are_templated_not_raw_paths(self, client, scheduled):
+        metrics = client.metrics()
+        routes = {s["labels"]["route"] for s in metrics["cbes_requests_total"]["samples"]}
+        assert "/v1/jobs/{id}" in routes
+        assert not any(route.startswith("/v1/jobs/j") for route in routes)
+
+    def test_traces_endpoint_returns_job_trees(self, client, scheduled):
+        traces = client.traces()
+        jobs = [t for t in traces if t["name"] == "cbes.job"]
+        assert jobs, f"no cbes.job roots in {[t['name'] for t in traces]}"
+        job = jobs[-1]
+        assert job["status"] == "ok"
+        assert job["duration_s"] > 0
+        assert job["attributes"]["kind"] == "schedule"
+        assert job["attributes"]["evaluations"] > 0
+        # The daemon drives the scheduler directly, so the search span
+        # nests straight under the job span.
+        runs = [c for c in job["children"] if c["name"] == "scheduler.run"]
+        assert runs and runs[0]["attributes"]["evaluations"] > 0
+        assert runs[0]["trace_id"] == job["trace_id"]
+
+    def test_cbes_schedule_emits_root_span(self, service_and_app):
+        """CBES.schedule is the service-level trace root for library users."""
+        from repro.schedulers import CbesScheduler
+        from repro.telemetry import use_tracer
+
+        service, app_name = service_and_app
+        tracer = Tracer()
+        with use_tracer(tracer):
+            service.schedule(app_name, CbesScheduler(), list(service.cluster.node_ids()), seed=3)
+        roots = [t for t in tracer.traces() if t["name"] == "cbes.schedule"]
+        assert roots
+        assert roots[0]["attributes"]["app"] == app_name
+        assert [c["name"] for c in roots[0]["children"]] == ["scheduler.run"]
+
+    def test_traces_limit_validation(self, client):
+        assert client.traces(limit=1) == client.traces()[:1]
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/v1/traces?limit=nope")
+        assert excinfo.value.status == 400
+
+    def test_metrics_cli_renders_table_and_raw(self, server, scheduled, capsys):
+        from repro.cli import main
+
+        endpoint = ["--host", server.host, "--port", str(server.port)]
+        assert main(["metrics", *endpoint]) == 0
+        out = capsys.readouterr().out
+        assert "cbes_requests_total (counter)" in out
+        assert "cbes_request_seconds (histogram)" in out
+
+        assert main(["metrics", *endpoint, "--raw"]) == 0
+        raw = capsys.readouterr().out
+        assert "# TYPE cbes_requests_total counter" in raw
