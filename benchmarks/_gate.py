@@ -1,0 +1,89 @@
+"""Gate reporting for the bench-guard CI job.
+
+Every ``--quick`` benchmark builds one :class:`GateReport`, records the
+measured metrics and pass/fail gates, and exits through
+:meth:`GateReport.finish`.  That gives all benches a uniform contract:
+
+* exit status 0 iff every gate passed;
+* one ``GATE <bench>/<gate>: FAIL — <summary>`` line per failing gate
+  (the line the CI log search keys on);
+* when ``REPRO_BENCH_JSON_DIR`` is set, a machine-readable
+  ``BENCH_<name>.json`` snapshot (timestamp, git sha, metric values,
+  gate outcomes) written there and uploaded as a workflow artifact —
+  the raw material of the bench-trajectory-over-commits pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+
+def _git_sha() -> str:
+    """Commit under test: the CI-provided sha, else the local HEAD."""
+    sha = os.environ.get("GITHUB_SHA", "").strip()
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+class GateReport:
+    """Collects one benchmark run's metrics and gate verdicts."""
+
+    def __init__(self, name: str, *, mode: str = "full") -> None:
+        self.name = name
+        self.mode = mode
+        self.metrics: dict[str, float | int | str] = {}
+        self.gates: list[dict] = []
+
+    def metric(self, key: str, value) -> None:
+        """Record one measured value (numbers preferred; strings allowed)."""
+        self.metrics[key] = value
+
+    def gate(self, key: str, passed: bool, summary: str) -> bool:
+        """Record one pass/fail gate; *summary* states the check either way."""
+        self.gates.append({"name": key, "passed": bool(passed), "summary": summary})
+        return bool(passed)
+
+    @property
+    def passed(self) -> bool:
+        return all(g["passed"] for g in self.gates)
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.name,
+            "mode": self.mode,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_sha": _git_sha(),
+            "metrics": self.metrics,
+            "gates": self.gates,
+            "passed": self.passed,
+        }
+
+    def finish(self) -> int:
+        """Write the JSON snapshot, print the verdict, return the exit code."""
+        json_dir = os.environ.get("REPRO_BENCH_JSON_DIR", "").strip()
+        if json_dir:
+            target = Path(json_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            path = target / f"BENCH_{self.name}.json"
+            path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+            print(f"wrote {path}")
+        for g in self.gates:
+            if not g["passed"]:
+                print(f"GATE {self.name}/{g['name']}: FAIL — {g['summary']}")
+        print("OK" if self.passed else f"FAIL ({self.name})")
+        return 0 if self.passed else 1

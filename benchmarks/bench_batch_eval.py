@@ -1,0 +1,166 @@
+"""Benchmark: batched ``evaluate_many`` vs per-mapping evaluation.
+
+Measures population-scoring throughput of the batched kernel (the path
+GA generations, portfolio seed scans, and candidate sweeps go through)
+against the per-mapping stateless fast path, while checking that the
+batch agrees element-wise with the reference ``predict()`` and that the
+two batch backends (pure python and numpy) are bit-identical.
+
+Run modes
+---------
+``python benchmarks/bench_batch_eval.py``
+    Full benchmark: 64 nodes / 32 ranks, populations of 256; fails
+    (exit 1) unless the numpy batch kernel is at least 10x faster than
+    the per-mapping loop (requires the numpy ``[speed]`` extra).
+
+``python benchmarks/bench_batch_eval.py --quick``
+    CI smoke mode: 16 nodes / 8 ranks, populations of 64; the speedup
+    gate relaxes to "not slower" for the python backend and 2x for
+    numpy, so the smoke run passes on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+import time
+
+from _gate import GateReport
+from bench_incremental_eval import AGREEMENT_TOL, build_workload
+
+from repro._util import spawn_rng
+from repro.core.mapping import TaskMapping
+
+HAVE_NUMPY = importlib.util.find_spec("numpy") is not None
+
+
+def random_population(node_ids: list[str], nprocs: int, count: int, seed: int):
+    rng = spawn_rng(seed, "bench-batch-pop")
+    return [
+        TaskMapping([node_ids[rng.choice(len(node_ids))] for _ in range(nprocs)])
+        for _ in range(count)
+    ]
+
+
+def best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(nnodes: int, nprocs: int, popsize: int, repeats: int):
+    evaluator, node_ids = build_workload(nnodes, nprocs)
+    population = random_population(node_ids, nprocs, popsize, seed=9)
+    context = evaluator.fast_context()
+
+    # -- agreement: batch vs reference predict(), element-wise ---------
+    energies = context.evaluate_many(population)
+    worst = max(
+        abs(energy - evaluator.predict(mapping).execution_time)
+        for mapping, energy in zip(population, energies)
+    )
+
+    # -- backend equality (bit-identical) when numpy is present --------
+    backends_equal = True
+    if HAVE_NUMPY:
+        os.environ["REPRO_EVAL_BACKEND"] = "python"
+        try:
+            py = context.evaluate_many(population)
+            os.environ["REPRO_EVAL_BACKEND"] = "numpy"
+            vec = context.evaluate_many(population)
+        finally:
+            os.environ.pop("REPRO_EVAL_BACKEND", None)
+        backends_equal = py == vec
+
+    # -- throughput ----------------------------------------------------
+    inc = evaluator.incremental()
+
+    def loop():
+        for mapping in population:
+            inc(mapping)
+
+    def batch():
+        context.evaluate_many(population)
+
+    loop_s = best_time(loop, repeats)
+    batch_s = best_time(batch, repeats)
+    return {
+        "loop_rate": popsize / loop_s,
+        "batch_rate": popsize / batch_s,
+        "speedup": loop_s / batch_s,
+        "worst_disagreement": worst,
+        "backends_equal": backends_equal,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small instance, relaxed speedup gate",
+    )
+    args = parser.parse_args(argv)
+
+    backend = "numpy" if HAVE_NUMPY else "python"
+    if args.quick:
+        nnodes, nprocs, popsize, repeats = 16, 8, 64, 20
+        target = 2.0 if backend == "numpy" else 0.8
+    else:
+        nnodes, nprocs, popsize, repeats = 64, 32, 256, 10
+        target = 10.0
+
+    report = GateReport("batch_eval", mode="quick" if args.quick else "full")
+    report.metric("nnodes", nnodes)
+    report.metric("nprocs", nprocs)
+    report.metric("population", popsize)
+    report.metric("backend", backend)
+
+    results = run(nnodes, nprocs, popsize, repeats)
+    report.metric("loop_rate_per_s", round(results["loop_rate"], 1))
+    report.metric("batch_rate_per_s", round(results["batch_rate"], 1))
+    report.metric("speedup", round(results["speedup"], 3))
+    report.metric("worst_disagreement", results["worst_disagreement"])
+
+    print(f"workload: {nnodes} nodes / {nprocs} ranks, populations of {popsize}")
+    print(f"batch backend:           {backend:>10}")
+    print(f"per-mapping loop:        {results['loop_rate']:10.0f} evaluations/s")
+    print(f"batched evaluate_many:   {results['batch_rate']:10.0f} evaluations/s")
+    print(f"speedup:                 {results['speedup']:10.1f}x   (target >= {target:.1f}x)")
+    print(
+        f"worst disagreement:      {results['worst_disagreement']:10.2e}"
+        f"   (tolerance {AGREEMENT_TOL:.0e})"
+    )
+
+    report.gate(
+        "agreement",
+        results["worst_disagreement"] <= AGREEMENT_TOL,
+        f"batch vs predict() disagreement {results['worst_disagreement']:.2e} "
+        f"exceeds {AGREEMENT_TOL:.0e}",
+    )
+    report.gate(
+        "backend_equality",
+        results["backends_equal"],
+        "python and numpy backends returned different energies",
+    )
+    if not args.quick and backend == "python":
+        report.gate(
+            "numpy_available",
+            False,
+            "full-mode speedup target requires the numpy [speed] extra",
+        )
+    report.gate(
+        "speedup",
+        results["speedup"] >= target,
+        f"batch speedup {results['speedup']:.2f}x below target {target:.1f}x",
+    )
+    return report.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

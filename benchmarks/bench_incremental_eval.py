@@ -23,8 +23,9 @@ import argparse
 import sys
 import time
 
-import numpy as np
+from _gate import GateReport
 
+from repro._util import spawn_rng
 from repro.cluster.latency import LatencyModel, PathComponents
 from repro.cluster.node import Architecture, Node
 from repro.core.evaluation import MappingEvaluator
@@ -44,7 +45,7 @@ ARCHS = [
 
 def build_workload(nnodes: int, nprocs: int, seed: int = 7):
     """A synthetic heterogeneous cluster + ring/halo application profile."""
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed, "bench-inc-workload")
     node_ids = [f"b{i:02d}" for i in range(nnodes)]
     nodes = {
         nid: Node(nid, ARCHS[i % len(ARCHS)], ncpus=1 + i % 2)
@@ -102,7 +103,7 @@ def build_workload(nnodes: int, nprocs: int, seed: int = 7):
 
 def move_chain(start: TaskMapping, pool: list[str], length: int, seed: int) -> list[TaskMapping]:
     """A deterministic random-walk of SA moves from *start*."""
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed, "bench-inc-moves")
     moves = MoveGenerator(pool)
     chain = []
     current = start
@@ -179,16 +180,25 @@ def main(argv=None) -> int:
     print(f"speedup:                 {speedup:10.1f}x   (target >= {target:.0f}x)")
     print(f"worst disagreement:      {worst:10.2e}   (tolerance {AGREEMENT_TOL:.0e})")
 
-    ok = True
-    if not agrees:
-        print("FAIL: incremental path disagrees with the reference")
-        ok = False
-    if speedup < target:
-        print(f"FAIL: speedup {speedup:.2f}x below target {target:.0f}x")
-        ok = False
-    if ok:
-        print("OK")
-    return 0 if ok else 1
+    report = GateReport("incremental_eval", mode="quick" if args.quick else "full")
+    report.metric("nnodes", nnodes)
+    report.metric("nprocs", nprocs)
+    report.metric("ref_rate_per_s", round(ref_rate, 1))
+    report.metric("inc_rate_per_s", round(inc_rate, 1))
+    report.metric("speedup", round(speedup, 3))
+    report.metric("worst_disagreement", worst)
+    report.gate(
+        "agreement",
+        agrees,
+        f"incremental path disagrees with the reference by {worst:.2e} "
+        f"(tolerance {AGREEMENT_TOL:.0e})",
+    )
+    report.gate(
+        "speedup",
+        speedup >= target,
+        f"incremental speedup {speedup:.2f}x below target {target:.0f}x",
+    )
+    return report.finish()
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ import os
 import sys
 import time
 
+from _gate import GateReport
 from bench_incremental_eval import build_workload
 
 from repro.schedulers import make_scheduler
@@ -106,25 +107,38 @@ def main(argv=None) -> int:
     else:
         print(f"speedup:                {speedup:8.2f}x  (target >= {target:.1f}x)")
 
-    ok = True
-    if serial_result.mapping != parallel_result.mapping:
-        print("FAIL: parallel portfolio returned a different mapping than serial")
-        ok = False
-    if serial_result.evaluations != parallel_result.evaluations:
-        print(
-            "FAIL: evaluation counts diverge "
-            f"({serial_result.evaluations} vs {parallel_result.evaluations})"
+    report = GateReport("parallel_search", mode="quick" if args.quick else "full")
+    report.metric("nnodes", nnodes)
+    report.metric("restarts", restarts)
+    report.metric("workers", workers)
+    report.metric("cores", cores)
+    report.metric("serial_s", round(serial_s, 3))
+    report.metric("parallel_s", round(parallel_s, 3))
+    report.metric("speedup", round(speedup, 3))
+    report.metric("evaluations", serial_result.evaluations)
+    report.gate(
+        "same_mapping",
+        serial_result.mapping == parallel_result.mapping,
+        "parallel portfolio returned a different mapping than serial",
+    )
+    report.gate(
+        "same_evaluations",
+        serial_result.evaluations == parallel_result.evaluations,
+        "evaluation counts diverge "
+        f"({serial_result.evaluations} vs {parallel_result.evaluations})",
+    )
+    report.gate(
+        "same_prediction",
+        abs(serial_result.predicted_time - parallel_result.predicted_time) <= 1e-12,
+        "predicted times diverge between parallel degrees",
+    )
+    if target is not None:
+        report.gate(
+            "speedup",
+            speedup >= target,
+            f"speedup {speedup:.2f}x below target {target:.1f}x",
         )
-        ok = False
-    if abs(serial_result.predicted_time - parallel_result.predicted_time) > 1e-12:
-        print("FAIL: predicted times diverge between parallel degrees")
-        ok = False
-    if target is not None and speedup < target:
-        print(f"FAIL: speedup {speedup:.2f}x below target {target:.1f}x")
-        ok = False
-    if ok:
-        print("OK")
-    return 0 if ok else 1
+    return report.finish()
 
 
 if __name__ == "__main__":

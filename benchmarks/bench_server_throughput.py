@@ -26,6 +26,8 @@ import argparse
 import sys
 import time
 
+from _gate import GateReport
+
 from repro.cluster import single_switch
 from repro.core import CBES, TaskMapping
 from repro.server import BackpressureError, DaemonThread
@@ -106,14 +108,25 @@ def main(argv: list[str] | None = None) -> int:
     print(f"per-job service overhead: {overhead_ms:.2f} ms (HTTP + queue + store)")
     print(f"backpressure retries: {retries}, disagreements: {disagreements}")
 
-    if disagreements:
-        print(f"FAIL: {disagreements} remote results disagree with the direct evaluator")
-        return 1
-    if not args.quick and rate < 10.0:
-        print(f"FAIL: daemon throughput {rate:.1f} jobs/s below the 10 jobs/s floor")
-        return 1
-    print("OK")
-    return 0
+    report = GateReport("server_throughput", mode="quick" if args.quick else "full")
+    report.metric("nnodes", nnodes)
+    report.metric("jobs", njobs)
+    report.metric("workers", workers)
+    report.metric("daemon_jobs_per_s", round(rate, 2))
+    report.metric("overhead_ms_per_job", round(overhead_ms, 3))
+    report.metric("backpressure_retries", retries)
+    report.gate(
+        "agreement",
+        disagreements == 0,
+        f"{disagreements} remote results disagree with the direct evaluator",
+    )
+    if not args.quick:
+        report.gate(
+            "throughput",
+            rate >= 10.0,
+            f"daemon throughput {rate:.1f} jobs/s below the 10 jobs/s floor",
+        )
+    return report.finish()
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ import argparse
 import sys
 import time
 
+from _gate import GateReport
 from bench_incremental_eval import build_workload
 
 from repro.schedulers import make_scheduler
@@ -110,14 +111,21 @@ def main(argv=None) -> int:
     print(f"enabled/disabled throughput ratio: {ratio:9.3f}   (gate >= {OVERHEAD_GATE})")
     print(f"counter.inc(live): {live_ns:7.0f} ns/op    counter.inc(null): {null_ns:5.0f} ns/op")
 
-    if ratio < OVERHEAD_GATE:
-        print(
-            f"FAIL: enabling telemetry cost {(1 - ratio) * 100:.1f}% "
-            f"(> {(1 - OVERHEAD_GATE) * 100:.0f}% budget)"
-        )
-        return 1
-    print("OK")
-    return 0
+    report = GateReport("telemetry_overhead", mode="quick" if args.quick else "full")
+    report.metric("nnodes", nnodes)
+    report.metric("nprocs", nprocs)
+    report.metric("disabled_ms", round(disabled * 1e3, 2))
+    report.metric("enabled_ms", round(enabled * 1e3, 2))
+    report.metric("throughput_ratio", round(ratio, 4))
+    report.metric("counter_inc_live_ns", round(live_ns, 1))
+    report.metric("counter_inc_null_ns", round(null_ns, 1))
+    report.gate(
+        "overhead",
+        ratio >= OVERHEAD_GATE,
+        f"enabling telemetry cost {(1 - ratio) * 100:.1f}% "
+        f"(> {(1 - OVERHEAD_GATE) * 100:.0f}% budget)",
+    )
+    return report.finish()
 
 
 if __name__ == "__main__":

@@ -176,8 +176,8 @@ class DeterminismChecker(Checker):
         "uuid.uuid4": "use the seeded spawn_rng substream instead",
         "np.random.default_rng": "use repro._util.spawn_rng(seed, *key) instead",
         "numpy.random.default_rng": "use repro._util.spawn_rng(seed, *key) instead",
-        "np.random.seed": "global numpy seeding is forbidden; thread a Generator",
-        "numpy.random.seed": "global numpy seeding is forbidden; thread a Generator",
+        "np.random.seed": "global numpy seeding is forbidden; thread a seeded Rng",
+        "numpy.random.seed": "global numpy seeding is forbidden; thread a seeded Rng",
     }
 
     def visit(self, node: ast.AST, parents: list[ast.AST], ctx: CheckerContext) -> None:
@@ -195,7 +195,7 @@ class DeterminismChecker(Checker):
                 node,
                 self.rule,
                 f"call to {dotted}() bypasses the seeded RNG; "
-                "use the threaded np.random.Generator from spawn_rng",
+                "use the threaded repro._rng.Rng from spawn_rng",
             )
         elif dotted in ("min", "max") and node.args:
             first = node.args[0]

@@ -20,8 +20,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro._rng import Rng
 from repro._util import check_positive, spawn_rng
 from repro.cluster.latency import LatencyModel, PathComponents
 from repro.cluster.network import NetworkFabric
@@ -113,13 +112,13 @@ class Calibrator:
         self._repetitions = int(repetitions)
         self._seed = int(seed)
 
-    def _measure(self, src: str, dst: str, size: int, rng: np.random.Generator) -> float:
+    def _measure(self, src: str, dst: str, size: int, rng: Rng) -> float:
         """One simulated ping-pong sample: truth plus measurement noise."""
         truth = LatencyModel.analytic_components(self._fabric, self._nodes, src, dst).no_load(size)
         if self._noise == 0.0:
             return truth
-        samples = truth * rng.normal(1.0, self._noise, size=self._repetitions)
-        return float(np.abs(samples).mean())
+        samples = [truth * x for x in rng.normal(1.0, self._noise, size=self._repetitions)]
+        return sum(abs(s) for s in samples) / len(samples)
 
     def _fit_pair(self, src: str, dst: str, sizes: Sequence[int]) -> tuple[PathComponents, float]:
         """Weighted least-squares fit of ``alpha + beta * size`` for one pair.
@@ -129,14 +128,24 @@ class Calibrator:
         would swamp the small-message alpha (tens of microseconds).
         """
         rng = spawn_rng(self._seed, "calibrate", src, dst)
-        xs = np.asarray(sizes, dtype=float)
-        ys = np.array([self._measure(src, dst, int(s), rng) for s in sizes])
-        design = np.column_stack([np.ones_like(xs), xs])
-        weights = 1.0 / ys
-        (alpha, beta), *_ = np.linalg.lstsq(design * weights[:, None], np.ones_like(ys), rcond=None)
-        alpha = max(float(alpha), 0.0)
-        beta = max(float(beta), 0.0)
-        residual = float(np.abs((design @ np.array([alpha, beta]) - ys) / ys).max())
+        xs = [float(s) for s in sizes]
+        ys = [self._measure(src, dst, int(s), rng) for s in sizes]
+        # Normal equations of min ||(alpha + beta*x - y) / y||^2: each row
+        # of the design is scaled by w = 1/y, giving a 2x2 system solved
+        # by Cramer's rule (the sweep spans ~4 decades of size, which
+        # float64 handles with digits to spare at this problem size).
+        ws = [1.0 / y for y in ys]
+        s11 = sum(w * w for w in ws)
+        s12 = sum(w * w * x for w, x in zip(ws, xs))
+        s22 = sum(w * w * x * x for w, x in zip(ws, xs))
+        b1 = sum(ws)
+        b2 = sum(w * x for w, x in zip(ws, xs))
+        det = s11 * s22 - s12 * s12
+        alpha = (b1 * s22 - b2 * s12) / det
+        beta = (s11 * b2 - s12 * b1) / det
+        alpha = max(alpha, 0.0)
+        beta = max(beta, 0.0)
+        residual = max(abs((alpha + beta * x - y) / y) for x, y in zip(xs, ys))
         # The fit can only observe the total alpha; split it between the
         # endpoints proportionally to their NIC overheads so that the
         # load adjustment applies to the right endpoint share.

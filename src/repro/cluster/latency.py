@@ -21,10 +21,14 @@ directly from the wiring.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
-import numpy as np
+try:  # numpy is the optional [speed] extra; the matrix APIs need it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro._util import check_fraction, check_positive
 from repro.cluster.network import NetworkFabric
@@ -180,42 +184,63 @@ class LatencyModel:
             size_bytes, acpu_src=acpu_src, acpu_dst=acpu_dst, nic_src=nic_src, nic_dst=nic_dst
         )
 
-    def component_matrices(
+    def component_tables(
         self, hosts: Sequence[str]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Bulk component lookup: ``(alpha_src, alpha_dst, alpha_net, beta)``.
+    ) -> tuple[list[float], list[float], list[float], list[float]]:
+        """Bulk component lookup as flat row-major tables.
 
-        Each array is ``len(hosts) x len(hosts)``; entry ``[i, j]``
+        Each list has ``len(hosts)**2`` entries; entry ``[i * m + j]``
         decomposes the ordered pair ``(hosts[i], hosts[j])``.  Diagonal
         entries carry the shared-memory constants; pairs absent from the
-        model are NaN (callers must check before use).  This is the
-        vectorized form of the per-pair :meth:`components` query, built
-        once per evaluation context so ``theta`` sums reduce to array
-        gathers.
+        model are NaN (callers must check before use).  This is the bulk
+        form of the per-pair :meth:`components` query, built once per
+        evaluation context so ``theta`` sums reduce to table gathers —
+        and it is pure python, so the evaluation fast path works without
+        numpy installed.
         """
         m = len(hosts)
-        a_src = np.full((m, m), np.nan)
-        a_dst = np.full((m, m), np.nan)
-        a_net = np.full((m, m), np.nan)
-        beta = np.full((m, m), np.nan)
+        nan = math.nan
+        a_src = [nan] * (m * m)
+        a_dst = [nan] * (m * m)
+        a_net = [nan] * (m * m)
+        beta = [nan] * (m * m)
+        local = PathComponents(LOCAL_ALPHA_S, LOCAL_ALPHA_S, 0.0, LOCAL_BETA_S_PER_BYTE)
         for i, src in enumerate(hosts):
+            base = i * m
             for j, dst in enumerate(hosts):
-                if i == j:
-                    pc = PathComponents(LOCAL_ALPHA_S, LOCAL_ALPHA_S, 0.0, LOCAL_BETA_S_PER_BYTE)
-                else:
-                    pc = self._components.get((src, dst))
-                    if pc is None:
-                        continue
-                a_src[i, j] = pc.alpha_src
-                a_dst[i, j] = pc.alpha_dst
-                a_net[i, j] = pc.alpha_net
-                beta[i, j] = pc.beta
+                pc = local if i == j else self._components.get((src, dst))
+                if pc is None:
+                    continue
+                a_src[base + j] = pc.alpha_src
+                a_dst[base + j] = pc.alpha_dst
+                a_net[base + j] = pc.alpha_net
+                beta[base + j] = pc.beta
         return a_src, a_dst, a_net, beta
 
-    def no_load_matrix(self, hosts: Sequence[str], size_bytes: float) -> np.ndarray:
+    def component_matrices(self, hosts: Sequence[str]):
+        """:meth:`component_tables` reshaped to four ``(m, m)`` numpy arrays.
+
+        Requires the optional numpy extra; the pure-python
+        :meth:`component_tables` carries the same data without it.
+        """
+        if np is None:
+            raise ModuleNotFoundError(
+                "component_matrices requires numpy (install the [speed] extra); "
+                "use component_tables() for the pure-python form"
+            )
+        m = len(hosts)
+        a_src, a_dst, a_net, beta = self.component_tables(hosts)
+        return (
+            np.asarray(a_src).reshape(m, m),
+            np.asarray(a_dst).reshape(m, m),
+            np.asarray(a_net).reshape(m, m),
+            np.asarray(beta).reshape(m, m),
+        )
+
+    def no_load_matrix(self, hosts: Sequence[str], size_bytes: float):
         """Pairwise no-load latencies at one message size (bulk ``L_0``).
 
-        NaN marks pairs the model has no data for.
+        NaN marks pairs the model has no data for.  Requires numpy.
         """
         if size_bytes < 0:
             raise ValueError("size_bytes must be >= 0")

@@ -319,6 +319,30 @@ class MappingEvaluator:
         """Shortcut: just ``S_M`` (the SA energy function)."""
         return self.predict(mapping, options=options).execution_time
 
+    def execution_times(
+        self, mappings: list[TaskMapping], *, options: EvaluationOptions | None = None
+    ) -> list[float]:
+        """``S_M`` for a whole population of mappings, in input order.
+
+        One batched :meth:`~repro.core.fast_eval.EvaluationContext.
+        evaluate_many` sweep when the fast path is available, a
+        :meth:`predict` loop otherwise; either way every mapping counts
+        exactly one evaluation, so the scheduler cost metric is
+        independent of how the population was submitted.
+        """
+        from repro.core.fast_eval import FastEvalUnavailable
+
+        mappings = list(mappings)
+        if not mappings:
+            return []
+        try:
+            context = self.fast_context(options)
+        except FastEvalUnavailable:
+            return [self.predict(m, options=options).execution_time for m in mappings]
+        energies = context.evaluate_many(mappings)
+        self.record_evaluations(len(mappings))
+        return energies
+
     def compare(self, mappings: list[TaskMapping]) -> list[MappingPrediction]:
         """Evaluate several candidate mappings, best (fastest) first.
 

@@ -12,13 +12,26 @@ This module provides the fast path:
 :class:`EvaluationContext`
     Everything about ``(profile, latency model, nodes, snapshot,
     options)`` that does **not** depend on the candidate mapping, frozen
-    once: per-node speeds, the ACPU-vs-colocation curves, the pairwise
-    latency components as dense arrays (the vectorized form of a memo
-    table keyed by ``(src, dst, size)``), and the profile's message
-    groups in CSR layout so full ``theta`` sums become vectorized dot
-    products.  A context is bound to one snapshot *fingerprint*
-    (:meth:`repro.monitoring.snapshot.SystemSnapshot.fingerprint`);
-    fresher monitoring data invalidates it.
+    once in a struct-of-arrays layout: per-node speed / cpu / background
+    tables, the ACPU-vs-colocation curves, the pairwise latency
+    components as flat row-major tables (the bulk form of a memo table
+    keyed by ``(src, dst, size)``), and the profile's message groups in
+    CSR layout.  The canonical storage is plain python lists — the
+    context builds and serves evaluations without numpy — with numpy
+    mirrors materialized lazily for the batched kernel.  A context is
+    bound to one snapshot *fingerprint* (:meth:`repro.monitoring.
+    snapshot.SystemSnapshot.fingerprint`); fresher monitoring data
+    invalidates it.
+
+:meth:`EvaluationContext.evaluate_many`
+    The batched kernel: energies of a whole population of mappings in
+    one sweep.  Two interchangeable backends — a pure-python reference
+    and a vectorized numpy kernel — produce **bit-identical** energies;
+    the operation order of the numpy kernel (gathers, row-major bincount
+    reductions) was chosen to replay the scalar loop exactly.  Selection
+    is per-call via ``REPRO_EVAL_BACKEND`` (``auto`` | ``numpy`` |
+    ``python``); ``auto`` uses numpy when installed and falls back
+    cleanly when it is not.
 
 :class:`IncrementalEvaluator`
     Mutable search state over a context: ``propose(candidate)`` returns
@@ -27,19 +40,29 @@ This module provides the fast path:
     ACPU-driven terms on the affected nodes; ``commit()`` / ``reject()``
     resolve the proposal.  Affected ranks are recomputed *from scratch*
     (never ``+= delta``), so the incremental state cannot drift from the
-    reference path no matter how long the move sequence runs.
+    reference path no matter how long the move sequence runs.  Its
+    ``many(mappings)`` method exposes the batched kernel to population
+    schedulers while keeping the evaluation counter exact.
 
 The reference ``predict()`` stays authoritative: ``tests/test_fast_eval
 .py`` holds the two paths to 1e-9 agreement over randomized move
-sequences, and ``benchmarks/bench_incremental_eval.py`` measures the
-speedup (target: >= 10x on a 64-node / 32-rank synthetic workload).
+sequences, ``tests/test_batch_eval.py`` holds the two batch backends to
+bit-identical agreement, and ``benchmarks/bench_batch_eval.py`` measures
+the population speedup (target: >= 10x on 64 nodes / 32 ranks / 256
+mappings).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 from collections.abc import Mapping as MappingABC
+from collections.abc import Sequence
 
-import numpy as np
+try:  # numpy is the optional [speed] extra; the python backend is complete.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro.cluster.latency import LatencyModel
 from repro.cluster.node import Node
@@ -50,7 +73,12 @@ from repro.monitoring.snapshot import SystemSnapshot
 from repro.profiling.profile import ApplicationProfile
 from repro.simulate.contention import cpu_share
 
-__all__ = ["FastEvalUnavailable", "EvaluationContext", "IncrementalEvaluator"]
+__all__ = [
+    "FastEvalUnavailable",
+    "EvaluationContext",
+    "IncrementalEvaluator",
+    "active_backend",
+]
 
 
 class FastEvalUnavailable(CbesError):
@@ -61,12 +89,45 @@ class FastEvalUnavailable(CbesError):
     """
 
 
+def active_backend() -> str:
+    """Resolve the batch-evaluation backend for this call.
+
+    ``REPRO_EVAL_BACKEND`` may be ``auto`` (default: numpy when
+    installed, python otherwise), ``numpy`` (require the vectorized
+    kernel; raises :class:`FastEvalUnavailable` when numpy is absent),
+    or ``python`` (force the pure-python reference).  Read per call so
+    tests and operators can flip backends without rebuilding contexts.
+    """
+    choice = os.environ.get("REPRO_EVAL_BACKEND", "auto").strip().lower() or "auto"
+    if choice not in ("auto", "numpy", "python"):
+        raise ValueError(
+            f"REPRO_EVAL_BACKEND must be auto, numpy, or python, got {choice!r}"
+        )
+    if choice == "python":
+        return "python"
+    if np is None:
+        if choice == "numpy":
+            raise FastEvalUnavailable(
+                "REPRO_EVAL_BACKEND=numpy but numpy is not installed "
+                "(install the [speed] extra)"
+            )
+        return "python"
+    return "numpy"
+
+
 class EvaluationContext:
     """Mapping-independent precomputation for one evaluator configuration.
 
     The context is valid only for the snapshot it was built from; use
     :meth:`is_valid_for` (fingerprint comparison) before reusing a
     cached instance after a monitoring refresh.
+
+    Storage is struct-of-arrays throughout: per-node columns
+    (``speed``, ``_ncpus``, ``_bg``), flat row-major pair tables
+    (``_a_src`` .. ``_beta``, ``_invnic``), and CSR message-group
+    columns (``_grp_rank`` .. ``_grp_size``) — all plain python lists.
+    Numpy mirrors of the columns are built lazily (:meth:`_np_cols`)
+    the first time the vectorized batch kernel runs.
     """
 
     def __init__(
@@ -89,7 +150,7 @@ class EvaluationContext:
         nprocs = profile.nprocs
         self.nprocs = nprocs
 
-        # -- per-node scalars (plain lists: fastest for the scalar path)
+        # -- per-node columns
         self.speed: list[float] = [
             nodes[nid].speed_for(profile.arch_speed_ratios) for nid in self.node_ids
         ]
@@ -109,38 +170,37 @@ class EvaluationContext:
         else:
             self.acpu_curve = [[1.0] * (nprocs + 1) for _ in range(n)]
 
-        # -- pairwise latency components, dense over the node universe.
-        # This is the memoized latency table: one bulk gather replaces
-        # per-call PathComponents lookups, and ``L(src, dst, size)`` for
-        # any size is an affine read off these four arrays.
-        a_src, a_dst, a_net, beta = latency_model.component_matrices(self.node_ids)
-        self._a_src = a_src.reshape(-1)
-        self._a_dst = a_dst.reshape(-1)
-        self._a_net = a_net.reshape(-1)
-        self._beta = beta.reshape(-1)
-        self._missing_pairs = bool(np.isnan(self._a_net).any())
+        # -- pairwise latency components, flat row-major over the node
+        # universe.  This is the memoized latency table: one bulk build
+        # replaces per-call PathComponents lookups, and ``L(src, dst,
+        # size)`` for any size is an affine read off these four tables.
+        a_src, a_dst, a_net, beta = latency_model.component_tables(self.node_ids)
+        self._a_src: list[float] = a_src
+        self._a_dst: list[float] = a_dst
+        self._a_net: list[float] = a_net
+        self._beta: list[float] = beta
+        self._missing_pairs = any(x != x for x in a_net)  # NaN scan
         # Effective NIC stretch per ordered pair: 1 / (1 - min(max(nic_s,
         # nic_d), 0.95)), precomputed so the load-adjusted latency is
         # pure arithmetic.  Identity (all ones) under the no-load option.
-        nic_arr = np.asarray(nic, dtype=float)
         if options.load_adjusted_latency:
-            nic_eff = np.minimum(np.maximum(nic_arr[:, None], nic_arr[None, :]), 0.95)
-            self._invnic = (1.0 / (1.0 - nic_eff)).reshape(-1)
+            self._invnic: list[float] = [
+                1.0 / (1.0 - min(max(nic[i], nic[j]), 0.95))
+                for i in range(n)
+                for j in range(n)
+            ]
         else:
-            self._invnic = np.ones(n * n)
-        # Scalar-path copies: python-list indexing beats 0-d numpy reads.
+            self._invnic = [1.0] * (n * n)
+        # Row tuples for the scalar inner loop: one index, four reads.
         self._comp_flat: list[tuple[float, float, float, float]] = list(
-            zip(
-                self._a_src.tolist(),
-                self._a_dst.tolist(),
-                self._a_net.tolist(),
-                self._beta.tolist(),
-                strict=True,
-            )
+            zip(a_src, a_dst, a_net, beta, strict=True)
         )
-        self._invnic_flat: list[float] = self._invnic.tolist()
+        # Fused serialization slope ``beta * invnic`` (the load-adjusted
+        # seconds-per-byte of each ordered pair); equals ``beta`` exactly
+        # under the no-load option since invnic is identically 1.0.
+        self._binv: list[float] = [b * iv for b, iv in zip(beta, self._invnic, strict=True)]
 
-        # -- per-rank profile data
+        # -- per-rank profile columns
         self.work: list[float] = [
             p.compute_time * profile.profile_speeds[p.rank] for p in profile.processes
         ]
@@ -168,33 +228,34 @@ class EvaluationContext:
         #: depends on where p sits / how loaded p's node is).
         self.rev: list[tuple[int, ...]] = [tuple(sorted(s)) for s in rev]
 
-        # CSR arrays for the vectorized full evaluation.
+        # CSR columns of all message groups, rank-major and in group
+        # order within a rank — the accumulation order of every backend.
         flat = [(r, g) for r in range(nprocs) for g in self.groups[r]]
-        self._grp_rank = np.array([r for r, _ in flat], dtype=np.intp)
-        self._grp_peer = np.array([g[1] for _, g in flat], dtype=np.intp)
-        self._grp_send = np.array([g[0] for _, g in flat], dtype=bool)
-        self._grp_count = np.array([g[2] for _, g in flat], dtype=float)
-        self._grp_size = np.array([g[3] for _, g in flat], dtype=float)
-        self._speed_arr = np.asarray(self.speed, dtype=float)
-        self._work_arr = np.asarray(self.work, dtype=float)
-        self._lam_arr = np.asarray(self.lam, dtype=float)
-        self._ncpus_arr = np.asarray(self._ncpus, dtype=float)
-        self._bg_arr = np.asarray(self._bg, dtype=float)
+        self._grp_rank: list[int] = [r for r, _ in flat]
+        self._grp_peer: list[int] = [g[1] for _, g in flat]
+        self._grp_send: list[bool] = [g[0] for _, g in flat]
+        self._grp_count: list[float] = [g[2] for _, g in flat]
+        self._grp_size: list[float] = [g[3] for _, g in flat]
+        #: Lazily-built numpy mirrors of the columns (None until the
+        #: vectorized batch kernel first runs).
+        self._np_cache: dict | None = None
         #: Scalar no-load latency memo keyed by (src_idx, dst_idx, size).
         self._noload_cache: dict[tuple[int, int, float], float] = {}
 
     # -- pickling -------------------------------------------------------
     def __getstate__(self) -> dict:
-        """Pickle without the scalar latency memo.
+        """Pickle without per-process warm state.
 
         Parallel search workers receive contexts (or rebuild them from
-        snapshots); the ``_noload_cache`` memo is pure per-process warm
-        state that can grow to one entry per (pair, size) — shipping it
-        would dominate the pickle for long-lived contexts and buys the
-        receiver nothing it cannot rebuild lazily.
+        snapshots); the ``_noload_cache`` memo and the numpy column
+        mirrors are pure warm state the receiver rebuilds lazily —
+        shipping them would bloat the pickle (and the mirrors would pin
+        the pickle to a numpy install the receiver may not have).
         """
         state = dict(self.__dict__)
         state["_noload_cache"] = {}
+        state["_np_cache"] = None
+        state.pop("_np_row_cache", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -227,68 +288,241 @@ class EvaluationContext:
             self._noload_cache[key] = value
         return value
 
-    def _check_pairs(self, src: np.ndarray, dst: np.ndarray) -> None:
-        """Raise like LatencyModel.components() for uncalibrated pairs."""
-        bad = np.isnan(self._a_net[src * self.nnodes + dst])
-        if bad.any():
-            i = int(np.argmax(bad))
-            raise KeyError(
-                f"no latency data for pair ({self.node_ids[int(src[i])]!r}, "
-                f"{self.node_ids[int(dst[i])]!r})"
-            )
+    # -- full evaluation (scalar reference) ------------------------------
+    def acpu_by_node(self, counts: Sequence[int]) -> list[float]:
+        """ACPU per node for a procs-per-node count vector.
 
-    # -- full (vectorized) evaluation -----------------------------------
-    def acpu_by_node(self, counts: np.ndarray) -> np.ndarray:
-        """Vectorized ACPU per node for a procs-per-node count vector."""
-        if not self.options.cpu_availability:
-            return np.ones(self.nnodes)
-        demand = counts + self._bg_arr
-        # Unused nodes keep ACPU 1.0 (never read; keeps the delta path's
-        # node-touched bookkeeping consistent with the full path).
-        loaded = (counts > 0) & (demand > self._ncpus_arr)
-        with np.errstate(divide="ignore"):
-            return np.where(loaded, self._ncpus_arr / demand, 1.0)
-
-    def evaluate(self, mapping: TaskMapping) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Full vectorized evaluation: (R, C, acpu-by-node) arrays.
-
-        ``theta`` is one gather + dot product over the CSR group arrays
-        instead of a per-group Python loop.
+        Unused nodes keep ACPU 1.0 (never read; keeps the delta path's
+        node-touched bookkeeping consistent with the full path).
         """
-        pos = np.asarray(self.positions(mapping), dtype=np.intp)
-        counts = np.bincount(pos, minlength=self.nnodes)
+        if not self.options.cpu_availability:
+            return [1.0] * self.nnodes
+        curve = self.acpu_curve
+        return [curve[j][k] for j, k in enumerate(counts)]
+
+    def evaluate(self, mapping: TaskMapping) -> tuple[list[float], list[float], list[float]]:
+        """Full evaluation: (R, C, acpu-by-node) lists.
+
+        Always the scalar python path, so everything built on it — the
+        incremental evaluator's rebinds in particular — is independent
+        of the batch backend selection.
+        """
+        return self._evaluate_positions(self.positions(mapping))
+
+    def _evaluate_positions(
+        self, pos: list[int]
+    ) -> tuple[list[float], list[float], list[float]]:
+        counts = [0] * self.nnodes
+        for j in pos:
+            counts[j] += 1
         acpu = self.acpu_by_node(counts)
-        r_arr = self._work_arr / self._speed_arr[pos] / acpu[pos]
-        if not self.options.communication or self._grp_rank.size == 0:
-            return r_arr, np.zeros(self.nprocs), acpu
-        src = np.where(self._grp_send, pos[self._grp_rank], pos[self._grp_peer])
-        dst = np.where(self._grp_send, pos[self._grp_peer], pos[self._grp_rank])
-        if self._missing_pairs:
-            self._check_pairs(src, dst)
-        pair = src * self.nnodes + dst
-        if self.options.load_adjusted_latency:
-            lat = (
-                self._a_src[pair] / acpu[src]
-                + self._a_dst[pair] / acpu[dst]
-                + self._a_net[pair]
-                + self._grp_size * self._beta[pair] * self._invnic[pair]
-            )
-        else:
-            # No-load L_0: endpoint alphas are not stretched by ACPU and
-            # the serialization term ignores NIC utilisation.
-            lat = (
-                self._a_src[pair]
-                + self._a_dst[pair]
-                + self._a_net[pair]
-                + self._grp_size * self._beta[pair]
-            )
-        theta = np.bincount(self._grp_rank, weights=self._grp_count * lat, minlength=self.nprocs)
-        return r_arr, theta * self._lam_arr, acpu
+        work, speed = self.work, self.speed
+        r_arr = [work[i] / speed[pos[i]] / acpu[pos[i]] for i in range(self.nprocs)]
+        if not self.options.communication or not self._grp_rank:
+            return r_arr, [0.0] * self.nprocs, acpu
+        c_arr = [self.comm_time(i, pos, acpu) for i in range(self.nprocs)]
+        return r_arr, c_arr, acpu
 
     def execution_time(self, mapping: TaskMapping) -> float:
-        """``S_M`` via the vectorized full path (stateless)."""
+        """``S_M`` of one mapping (stateless, scalar path)."""
         r_arr, c_arr, _ = self.evaluate(mapping)
-        return float(np.max(r_arr + c_arr))
+        return max(r + c for r, c in zip(r_arr, c_arr))
+
+    # -- batched evaluation ----------------------------------------------
+    def evaluate_many(self, mappings: Sequence[TaskMapping]) -> list[float]:
+        """``S_M`` for a whole population of mappings in one sweep.
+
+        The workhorse of population schedulers: GA generation scoring,
+        portfolio restart seeding, and candidate scans submit their
+        mappings here instead of looping.  Backend per
+        :func:`active_backend`; both backends produce bit-identical
+        energies, so callers never need to know which one served them.
+        """
+        if not mappings:
+            return []
+        if active_backend() == "numpy":
+            return self._evaluate_many_numpy(mappings)
+        out = []
+        for mapping in mappings:
+            r_arr, c_arr, _ = self._evaluate_positions(self.positions(mapping))
+            out.append(max(r + c for r, c in zip(r_arr, c_arr)))
+        return out
+
+    #: Ceiling (entries) on the per-(group, pair) latency tables the
+    #: numpy backend precomputes; above it the kernel falls back to
+    #: gathering the components per batch (same bits, more ops).
+    _TABLE_LIMIT = 1 << 22
+
+    def _np_cols(self) -> dict:
+        """The numpy mirrors of the SoA columns, built on first use."""
+        if np is None:  # pragma: no cover - guarded by active_backend()
+            raise FastEvalUnavailable("numpy backend requested but numpy is not installed")
+        cols = self._np_cache
+        if cols is None:
+            n = self.nnodes
+            work = np.asarray(self.work, dtype=float)
+            speed = np.asarray(self.speed, dtype=float)
+            grank = np.asarray(self._grp_rank, dtype=np.intp)
+            gpeer = np.asarray(self._grp_peer, dtype=np.intp)
+            gsend = np.asarray(self._grp_send, dtype=bool)
+            gcount = np.asarray(self._grp_count, dtype=float)
+            gsize = np.asarray(self._grp_size, dtype=float)
+            a_src = np.asarray(self._a_src, dtype=float)
+            a_dst = np.asarray(self._a_dst, dtype=float)
+            a_net = np.asarray(self._a_net, dtype=float)
+            beta = np.asarray(self._beta, dtype=float)
+            invnic = np.asarray(self._invnic, dtype=float)
+            cols = {
+                "lam": np.asarray(self.lam, dtype=float),
+                "ncpus": np.asarray(self._ncpus, dtype=float),
+                "bg": np.asarray(self._bg, dtype=float),
+                "a_src": a_src,
+                "a_dst": a_dst,
+                "a_net": a_net,
+                "beta": beta,
+                "binv": np.asarray(self._binv, dtype=float),
+                "grank": grank,
+                "gcount": gcount,
+                "gsize": gsize,
+                # R_i numerator table: work_i / speed_j, flat (P, n).
+                "rt": (work[:, None] / speed[None, :]).ravel(),
+                "col_n": np.arange(self.nprocs, dtype=np.intp) * n,
+                # Gather selectors: which rank's position is the message
+                # source/destination for each group (send: rank -> peer).
+                "gsrc": np.where(gsend, grank, gpeer),
+                "gdst": np.where(gsend, gpeer, grank),
+                "goff": np.arange(len(grank), dtype=np.intp) * (n * n),
+            }
+            del invnic  # folded into binv; the kernel never reads it raw
+            ngroups = len(self._grp_rank)
+            if 0 < ngroups * n * n <= self._TABLE_LIMIT:
+                # No-load weighted latency per (group, pair), matching
+                # the scalar association exactly:
+                #   wlat0 = count * (((a_src + a_dst) + a_net) + size * beta)
+                # (The load-adjusted path gathers its three small pair
+                # tables instead: at population sizes a big per-group
+                # table gather loses to three cache-resident ones.)
+                cols["wlat0"] = (
+                    gcount[:, None]
+                    * ((a_src + a_dst + a_net)[None, :] + gsize[:, None] * beta[None, :])
+                ).ravel()
+            self._np_cache = cols
+        return cols
+
+    def _np_rows(self, nbatch: int) -> tuple:
+        """Per-batch-row index arrays, cached for the last batch size.
+
+        ``row_n`` offsets each batch row into a ``(B, n)`` ravel;
+        ``theta_idx`` scatters every message group to its owning
+        ``(mapping, rank)`` cell of the ``theta`` bincount — both depend
+        only on the batch size, so population loops reuse them.
+        """
+        cached = getattr(self, "_np_row_cache", None)
+        if cached is not None and cached[0] == nbatch:
+            return cached[1], cached[2]
+        rows = np.arange(nbatch, dtype=np.intp)[:, None]
+        row_n = rows * self.nnodes
+        grank = self._np_cols()["grank"]
+        theta_idx = (grank + rows * self.nprocs).ravel()
+        self._np_row_cache = (nbatch, row_n, theta_idx)
+        return row_n, theta_idx
+
+    def _evaluate_many_numpy(self, mappings: Sequence[TaskMapping]) -> list[float]:
+        """Vectorized batch kernel.
+
+        Bit-identical to the scalar path by construction: every
+        reduction (`bincount` over row-major raveled indices) accumulates
+        in exactly the order the scalar loops do, and every elementwise
+        expression keeps the scalar association order (the precomputed
+        ``tail``/``wlat0`` tables bake in the same grouping the scalar
+        inner loop uses).  Gathers go through flat ``ndarray.take``
+        indices — several times faster than ``take_along_axis`` at these
+        array sizes, which is where the 10x population-scoring target
+        comes from.
+        """
+        cols = self._np_cols()
+        nbatch = len(mappings)
+        n, nprocs = self.nnodes, self.nprocs
+        for mapping in mappings:
+            if mapping.nprocs != nprocs:
+                raise InvalidMappingError(
+                    f"mapping places {mapping.nprocs} processes but profile has {nprocs}"
+                )
+        index = self.index
+        try:
+            pos = np.fromiter(
+                map(
+                    index.__getitem__,
+                    itertools.chain.from_iterable(m.as_tuple() for m in mappings),
+                ),
+                dtype=np.intp,
+                count=nbatch * nprocs,
+            ).reshape(nbatch, nprocs)
+        except KeyError as exc:
+            raise InvalidMappingError(f"mapping uses unknown node {exc.args[0]!r}") from None
+        row_n, theta_idx = self._np_rows(nbatch)
+        flat_nodes = pos + row_n  # (B, P) indices into a (B, n) ravel
+        if self.options.cpu_availability:
+            counts = np.bincount(flat_nodes.ravel(), minlength=nbatch * n)
+            # ACPU is only ever read at mapped nodes (rank positions and
+            # message endpoints), so compute it sparsely on the (B, P)
+            # grid: every gathered count is >= 1, which also rules the
+            # count > 0 branch of the dense formula in (and division by
+            # zero out).
+            demand = counts.take(flat_nodes) + cols["bg"].take(pos)
+            ncp = cols["ncpus"].take(pos)
+            acpu_pos = np.where(demand > ncp, ncp / demand, 1.0)
+            r_arr = cols["rt"].take(pos + cols["col_n"]) / acpu_pos
+        else:
+            # ACPU is identically 1.0; x / 1.0 == x, so skip the gather.
+            acpu_pos = None
+            r_arr = cols["rt"].take(pos + cols["col_n"])
+        if not self.options.communication or not self._grp_rank:
+            return r_arr.max(axis=1).tolist()
+        src = pos.take(cols["gsrc"], axis=1)  # (B, G) source node per group
+        dst = pos.take(cols["gdst"], axis=1)
+        pair = src * n
+        pair += dst
+        if self._missing_pairs:
+            bad = np.isnan(cols["a_net"].take(pair))
+            if bad.any():
+                # Ravel order is mapping-major, groups in rank order —
+                # the same first-bad-pair the scalar loop would hit.
+                b, g = divmod(int(bad.ravel().argmax()), pair.shape[1])
+                raise KeyError(
+                    f"no latency data for pair ({self.node_ids[int(src[b, g])]!r}, "
+                    f"{self.node_ids[int(dst[b, g])]!r})"
+                )
+        if self.options.load_adjusted_latency:
+            tail = cols["gsize"] * cols["binv"].take(pair)
+            tail += cols["a_net"].take(pair)
+            if acpu_pos is not None:
+                # Endpoint ACPU by gathering the (B, P) per-rank table —
+                # cheaper than re-offsetting src/dst into the (B, n) ravel.
+                lat = cols["a_src"].take(pair) / acpu_pos.take(cols["gsrc"], axis=1)
+                lat += cols["a_dst"].take(pair) / acpu_pos.take(cols["gdst"], axis=1)
+            else:
+                lat = cols["a_src"].take(pair) + cols["a_dst"].take(pair)
+            lat += tail
+            lat *= cols["gcount"]
+            weights = lat
+        elif "wlat0" in cols:
+            weights = cols["wlat0"].take(pair + cols["goff"])
+        else:
+            lat = cols["a_src"].take(pair) + cols["a_dst"].take(pair)
+            lat += cols["a_net"].take(pair)
+            sb = cols["gsize"] * cols["beta"].take(pair)
+            lat += sb
+            lat *= cols["gcount"]
+            weights = lat
+        theta = np.bincount(
+            theta_idx,
+            weights=weights.ravel(),
+            minlength=nbatch * nprocs,
+        ).reshape(nbatch, nprocs)
+        theta *= cols["lam"]
+        r_arr += theta
+        return r_arr.max(axis=1).tolist()
 
     # -- scalar kernels for the delta path ------------------------------
     def comm_time(self, rank: int, pos: list[int], acpu: list[float]) -> float:
@@ -298,16 +532,22 @@ class EvaluationContext:
             return 0.0
         n = self.nnodes
         comp = self._comp_flat
-        invnic = self._invnic_flat
+        binv = self._binv
         me = pos[rank]
         total = 0.0
         if self._missing_pairs:
+            a_net = self._a_net
             for is_send, peer, _, _ in groups:
                 s, d = (me, pos[peer]) if is_send else (pos[peer], me)
-                if self._a_net[s * n + d] != self._a_net[s * n + d]:  # NaN check
+                if a_net[s * n + d] != a_net[s * n + d]:  # NaN check
                     raise KeyError(
                         f"no latency data for pair ({self.node_ids[s]!r}, {self.node_ids[d]!r})"
                     )
+        # The grouping below — endpoint terms first, then the load-
+        # independent tail ``a_net + size * (beta*invnic)`` as one unit
+        # (with the fused ``binv`` slope) — is the association the
+        # vectorized backend replays; both paths must keep it for their
+        # energies to stay bit-identical.
         if self.options.load_adjusted_latency:
             for is_send, peer, count, size in groups:
                 if is_send:
@@ -315,8 +555,8 @@ class EvaluationContext:
                 else:
                     s, d = pos[peer], me
                 k = s * n + d
-                a_s, a_d, a_n, b = comp[k]
-                total += count * (a_s / acpu[s] + a_d / acpu[d] + a_n + size * b * invnic[k])
+                a_s, a_d, a_n, _ = comp[k]
+                total += count * (a_s / acpu[s] + a_d / acpu[d] + (a_n + size * binv[k]))
         else:
             for is_send, peer, count, size in groups:
                 if is_send:
@@ -342,12 +582,17 @@ class IncrementalEvaluator:
       only ranks affected by the diff against the current mapping;
     * ``commit()`` / ``reject()`` — resolve the outstanding proposal
       (a new ``propose`` implicitly rejects the previous one);
-    * ``evaluator(mapping) -> S_M`` — stateless full evaluation (used
-      by population schedulers), via ``__call__``.
+    * ``evaluator(mapping) -> S_M`` — stateless full evaluation, via
+      ``__call__``;
+    * ``evaluator.many(mappings) -> [S_M, ...]`` — a whole population in
+      one batched sweep (used by population schedulers via
+      :func:`repro.schedulers.genetic.score_population`).
 
-    ``on_evaluate`` is called once per served evaluation so the owning
+    ``on_evaluate`` is called once per served evaluation — including
+    once per mapping in a ``many`` batch — so the owning
     :class:`~repro.core.evaluation.MappingEvaluator` can keep its
-    scheduler cost metric (``evaluations``) accurate.
+    scheduler cost metric (``evaluations``) accurate and invariant
+    across batch sizes and parallel degrees.
     """
 
     def __init__(
@@ -386,7 +631,12 @@ class IncrementalEvaluator:
             self._on_evaluate()
 
     def reset(self, mapping: TaskMapping) -> float:
-        """Bind the search state to *mapping* via one full evaluation."""
+        """Bind the search state to *mapping* via one full evaluation.
+
+        Always the scalar path (:meth:`EvaluationContext.evaluate`), so
+        an SA trajectory is a pure function of seed and mapping — never
+        of which batch backend is selected.
+        """
         ctx = self._ctx
         r_arr, c_arr, acpu = ctx.evaluate(mapping)
         self._pos = ctx.positions(mapping)
@@ -394,10 +644,10 @@ class IncrementalEvaluator:
         for node in self._pos:
             counts[node] += 1
         self._counts = counts
-        self._acpu = acpu.tolist()
-        self._r = r_arr.tolist()
-        self._c = c_arr.tolist()
-        totals = (r_arr + c_arr).tolist()
+        self._acpu = list(acpu)
+        self._r = list(r_arr)
+        self._c = list(c_arr)
+        totals = [r + c for r, c in zip(r_arr, c_arr)]
         self._totals = totals
         self._arg = max(range(len(totals)), key=totals.__getitem__)
         self._best = totals[self._arg]
@@ -409,6 +659,17 @@ class IncrementalEvaluator:
         """Stateless full evaluation of an arbitrary mapping."""
         self._note()
         return self._ctx.execution_time(mapping)
+
+    def many(self, mappings: Sequence[TaskMapping]) -> list[float]:
+        """Batched stateless evaluation of a population.
+
+        Counts one evaluation per mapping, exactly like a loop of
+        ``__call__`` — telemetry totals are batch-size invariant.
+        """
+        energies = self._ctx.evaluate_many(mappings)
+        for _ in energies:
+            self._note()
+        return energies
 
     # -- the propose / commit / reject cycle ----------------------------
     def propose(self, candidate: TaskMapping) -> float:

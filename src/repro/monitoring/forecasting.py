@@ -11,10 +11,10 @@ choice is worth.
 
 from __future__ import annotations
 
+import math
+import statistics
 from abc import ABC, abstractmethod
 from collections import deque
-
-import numpy as np
 
 __all__ = [
     "Forecaster",
@@ -36,7 +36,7 @@ class Forecaster(ABC):
 
     def update(self, value: float) -> None:
         """Feed one new measurement."""
-        if not np.isfinite(value):
+        if not math.isfinite(value):
             raise ValueError(f"measurement must be finite, got {value!r}")
         self._observe(float(value))
         self._n += 1
@@ -86,7 +86,7 @@ class SlidingMean(Forecaster):
 
     def forecast(self) -> float:
         self._require_data()
-        return float(np.mean(self._buf))
+        return math.fsum(self._buf) / len(self._buf)
 
 
 class SlidingMedian(Forecaster):
@@ -103,7 +103,7 @@ class SlidingMedian(Forecaster):
 
     def forecast(self) -> float:
         self._require_data()
-        return float(np.median(self._buf))
+        return float(statistics.median(self._buf))
 
 
 class Ewma(Forecaster):
@@ -141,17 +141,21 @@ class AR1(Forecaster):
 
     def forecast(self) -> float:
         self._require_data()
-        data = np.asarray(self._buf)
-        if data.size < 3 or np.allclose(data, data[0]):
-            return float(data[-1])
+        data = list(self._buf)
+        flat = all(abs(v - data[0]) <= 1e-8 + 1e-5 * abs(data[0]) for v in data)
+        if len(data) < 3 or flat:
+            return data[-1]
         x, y = data[:-1], data[1:]
-        var = float(np.var(x))
+        n = len(x)
+        mx = math.fsum(x) / n
+        my = math.fsum(y) / n
+        var = math.fsum((v - mx) ** 2 for v in x) / n
         if var == 0.0:
-            return float(data[-1])
-        phi = float(np.cov(x, y, bias=True)[0, 1]) / var
-        phi = float(np.clip(phi, -1.0, 1.0))
-        mean = float(data.mean())
-        return mean + phi * (float(data[-1]) - mean)
+            return data[-1]
+        cov = math.fsum((a - mx) * (b - my) for a, b in zip(x, y)) / n
+        phi = min(1.0, max(-1.0, cov / var))
+        mean = math.fsum(data) / len(data)
+        return mean + phi * (data[-1] - mean)
 
 
 class AdaptiveForecaster(Forecaster):

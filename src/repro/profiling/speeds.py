@@ -54,6 +54,6 @@ def measure_speed_ratios(
             continue
         rng = spawn_rng(seed, "speed-ratio", app_name, arch.name)
         # Time a fixed kernel `repetitions` times; speed = work / mean time.
-        times = (1.0 / true_speed) * rng.normal(1.0, noise, size=repetitions)
-        ratios[arch.name] = float(1.0 / abs(times).mean())
+        times = [(1.0 / true_speed) * x for x in rng.normal(1.0, noise, size=repetitions)]
+        ratios[arch.name] = len(times) / sum(abs(t) for t in times)
     return ratios

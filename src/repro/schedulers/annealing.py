@@ -24,8 +24,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-import numpy as np
-
+from repro._rng import Rng
 from repro.core.mapping import TaskMapping
 from repro.schedulers.moves import MoveGenerator
 from repro.telemetry import get_registry
@@ -90,7 +89,7 @@ def anneal(
     energy: Callable[[TaskMapping], float],
     start: TaskMapping,
     moves: MoveGenerator,
-    rng: np.random.Generator,
+    rng: Rng,
     *,
     schedule: AnnealingSchedule = AnnealingSchedule(),
     feasible: Callable[[TaskMapping], bool] | None = None,
@@ -139,7 +138,7 @@ def anneal(
         probe = cand
     if incremental:
         energy.reset(start)  # rewind the probe walk
-    mean_delta = float(np.mean(deltas)) if deltas else abs(current_cost) * 0.01
+    mean_delta = math.fsum(deltas) / len(deltas) if deltas else abs(current_cost) * 0.01
     if mean_delta == 0.0:
         mean_delta = max(abs(current_cost), 1e-9) * 1e-3
     temperature = -mean_delta / math.log(schedule.initial_acceptance)

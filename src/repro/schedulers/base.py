@@ -16,8 +16,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro._rng import Rng
 from repro._util import spawn_rng
 from repro.core.evaluation import MappingEvaluator
 from repro.core.mapping import TaskMapping
@@ -159,7 +158,7 @@ class Scheduler(ABC):
         """Scheduler-specific search.  Returns (mapping, energy, history)."""
 
     def _initial_mapping(
-        self, evaluator: MappingEvaluator, pool: list[str], rng: np.random.Generator
+        self, evaluator: MappingEvaluator, pool: list[str], rng: Rng
     ) -> TaskMapping:
         """A random feasible starting point (rejection sampling)."""
         nprocs = evaluator.profile.nprocs
@@ -173,7 +172,7 @@ class Scheduler(ABC):
         )
 
 
-def random_mapping(pool: Sequence[str], nprocs: int, rng: np.random.Generator) -> TaskMapping:
+def random_mapping(pool: Sequence[str], nprocs: int, rng: Rng) -> TaskMapping:
     """A uniform random one-process-per-node mapping over *pool*."""
     if len(pool) < nprocs:
         raise ValueError("pool smaller than process count")
@@ -181,6 +180,6 @@ def random_mapping(pool: Sequence[str], nprocs: int, rng: np.random.Generator) -
     return TaskMapping([pool[int(i)] for i in idx])
 
 
-def make_rng(seed: int, *parts: object) -> np.random.Generator:
+def make_rng(seed: int, *parts: object) -> Rng:
     """Seeded RNG for scheduler runs (re-export of the shared helper)."""
     return spawn_rng(seed, *parts)

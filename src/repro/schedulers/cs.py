@@ -42,6 +42,7 @@ class CbesScheduler(Scheduler):
         direction: str = "minimize",
         swap_probability: float = 0.5,
         restarts: int = 2,
+        seed_scan: int = 8,
         share_bound: bool = False,
         constraint: MappingConstraint | None = None,
         **execution,
@@ -49,12 +50,15 @@ class CbesScheduler(Scheduler):
         super().__init__(constraint=constraint, **execution)
         if restarts < 1:
             raise ValueError("restarts must be >= 1")
+        if seed_scan < 0:
+            raise ValueError("seed_scan must be >= 0")
         if direction not in ("minimize", "maximize"):
             raise ValueError("direction must be 'minimize' or 'maximize'")
         self._schedule = schedule
         self._direction = direction
         self._swap_p = swap_probability
         self._restarts = restarts
+        self._seed_scan = seed_scan
         self._share_bound = share_bound
 
     #: Options the annealer's energy uses; None means the evaluator's own.
@@ -84,7 +88,8 @@ class CbesScheduler(Scheduler):
         # Independent restarts guard against the two-basin landscapes a
         # federated cluster produces (a whole side can be a local
         # optimum); the first restart starts from the fastest-nodes
-        # greedy construction, the rest from random mappings.
+        # greedy construction, the rest from the best of a batched
+        # seed scan over random candidates (one evaluate_many sweep).
         tasks = [
             SaTask(
                 index=attempt,
@@ -103,6 +108,7 @@ class CbesScheduler(Scheduler):
                     and self._direction == "minimize"
                     and self.use_greedy_start
                 ),
+                seed_scan=self._seed_scan,
                 direction=self._direction,
                 deadline=deadline,
             )

@@ -14,8 +14,7 @@ Both preserve the one-process-per-node invariant.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro._rng import Rng
 from repro.core.mapping import TaskMapping
 
 __all__ = ["MoveGenerator"]
@@ -35,7 +34,7 @@ class MoveGenerator:
         """The candidate node pool moves draw from (a copy)."""
         return list(self._pool)
 
-    def neighbour(self, mapping: TaskMapping, rng: np.random.Generator) -> TaskMapping:
+    def neighbour(self, mapping: TaskMapping, rng: Rng) -> TaskMapping:
         """One random elementary move applied to *mapping*."""
         nprocs = mapping.nprocs
         free = [n for n in self._pool if n not in mapping.nodes_used()]
@@ -51,7 +50,7 @@ class MoveGenerator:
         node = free[int(rng.integers(len(free)))]
         return mapping.with_assignment(rank, node)
 
-    def neighbours(self, mapping: TaskMapping, count: int, rng: np.random.Generator) -> list[TaskMapping]:
+    def neighbours(self, mapping: TaskMapping, count: int, rng: Rng) -> list[TaskMapping]:
         """*count* independent random neighbours."""
         if count < 1:
             raise ValueError("count must be >= 1")

@@ -32,12 +32,15 @@ from repro.search.spec import SearchSpec
 from repro.search.worker import (
     SaOutcome,
     SaTask,
+    ScanOutcome,
+    ScanTask,
     TaskRunner,
     _initialize_worker,
     _run_sa_task,
+    _run_scan_task,
 )
 
-__all__ = ["ParallelPortfolio", "PortfolioResult", "default_start_method"]
+__all__ = ["ParallelPortfolio", "PortfolioResult", "ScanResult", "default_start_method"]
 
 
 def default_start_method() -> str:
@@ -66,6 +69,16 @@ class PortfolioResult:
     history: list[float]
     evaluations: int
     outcomes: tuple[SaOutcome, ...]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Energies for a candidate scan, in candidate submission order."""
+
+    energies: list[float]
+    evaluations: int
+    #: Index of the best (lowest-energy) candidate; ties by position.
+    best_index: int
 
 
 class ParallelPortfolio:
@@ -119,6 +132,60 @@ class ParallelPortfolio:
         else:
             outcomes = self._run_pool(spec, tasks)
         return reduce_outcomes(outcomes, direction)
+
+    def run_scan(
+        self,
+        spec: SearchSpec,
+        candidates: list[TaskMapping],
+        *,
+        context: EvaluationContext | None = None,
+    ) -> ScanResult:
+        """Score *candidates* as batched sweeps, preserving order.
+
+        The inline path submits the whole population as one
+        ``evaluate_many`` call; with a pool the candidates are split into
+        one contiguous slice per worker, each scored as a single batch,
+        and reassembled in slice order — so the energies (and the
+        deterministic ``best_index``) are identical at every parallel
+        degree.
+        """
+        if not candidates:
+            raise ValueError("scan needs at least one candidate mapping")
+        nworkers = min(self._workers, len(candidates))
+        if nworkers <= 1:
+            runner = TaskRunner(spec, context=context)
+            outcomes = [runner.run_scan(ScanTask(0, tuple(candidates)))]
+        else:
+            step = (len(candidates) + nworkers - 1) // nworkers
+            tasks = [
+                ScanTask(i, tuple(candidates[i * step : (i + 1) * step]))
+                for i in range(nworkers)
+                if candidates[i * step : (i + 1) * step]
+            ]
+            outcomes = self._run_scan_pool(spec, tasks)
+        ordered = sorted(outcomes, key=lambda o: o.index)
+        registry = telemetry.get_registry()
+        for outcome in ordered:
+            if outcome.metrics is not None:
+                registry.apply_delta(outcome.metrics)
+        energies = [e for outcome in ordered for e in outcome.energies]
+        best_index = min(range(len(energies)), key=lambda i: (energies[i], i))
+        return ScanResult(
+            energies=energies,
+            evaluations=sum(o.evaluations for o in ordered),
+            best_index=best_index,
+        )
+
+    def _run_scan_pool(self, spec: SearchSpec, tasks: list[ScanTask]) -> list[ScanOutcome]:
+        spec.ensure_picklable()
+        ctx = mp.get_context(self._mp_context or default_start_method())
+        with ProcessPoolExecutor(
+            max_workers=len(tasks),
+            mp_context=ctx,
+            initializer=_initialize_worker,
+            initargs=(spec, None, 0.0, telemetry.enabled()),
+        ) as executor:
+            return list(executor.map(_run_scan_task, tasks))
 
     def _run_pool(self, spec: SearchSpec, tasks: list[SaTask]) -> list[SaOutcome]:
         spec.ensure_picklable()

@@ -18,8 +18,7 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro._rng import Rng
 from repro.core.evaluation import EvaluationOptions, MappingEvaluator
 from repro.core.mapping import TaskMapping
 from repro.monitoring.snapshot import SystemSnapshot
@@ -98,7 +97,7 @@ class SearchSpec:
             ) from exc
 
 
-def draw_initial_mapping(spec: SearchSpec, rng: np.random.Generator) -> TaskMapping:
+def draw_initial_mapping(spec: SearchSpec, rng: Rng) -> TaskMapping:
     """A random feasible start (rejection sampling, mirrors Scheduler)."""
     nprocs = spec.profile.nprocs
     pool = list(spec.pool)

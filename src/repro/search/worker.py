@@ -22,9 +22,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro import telemetry
+from repro._rng import Rng
 from repro._util import spawn_rng
 from repro.core.fast_eval import (
     EvaluationContext,
@@ -33,7 +32,7 @@ from repro.core.fast_eval import (
 )
 from repro.core.mapping import TaskMapping
 from repro.schedulers.annealing import AnnealingSchedule, CostBound, anneal
-from repro.schedulers.genetic import GeneticParams, ga_generation
+from repro.schedulers.genetic import GeneticParams, ga_generation, score_population
 from repro.schedulers.moves import MoveGenerator
 from repro.search.bound import SharedBound
 from repro.search.spec import SearchSpec, draw_initial_mapping, greedy_mapping
@@ -44,6 +43,8 @@ __all__ = [
     "SaOutcome",
     "IslandState",
     "GaEpochTask",
+    "ScanTask",
+    "ScanOutcome",
     "TaskRunner",
 ]
 
@@ -63,6 +64,10 @@ class SaTask:
     schedule: AnnealingSchedule = AnnealingSchedule()
     swap_probability: float = 0.5
     greedy_start: bool = False
+    #: When > 0, draw this many random candidate starts, score them as
+    #: one batched ``evaluate_many`` sweep, and start SA from the best
+    #: (the greedy start, when requested and feasible, still wins).
+    seed_scan: int = 0
     direction: str = "minimize"
     #: Absolute ``time.monotonic()`` deadline (CLOCK_MONOTONIC is
     #: system-wide on the platforms we support, so the instant computed
@@ -95,7 +100,7 @@ class IslandState:
     """
 
     index: int
-    rng: np.random.Generator
+    rng: Rng
     population: list[TaskMapping] | None = None
     fitness: list[float] | None = None
     history: list[float] = field(default_factory=list)
@@ -114,6 +119,24 @@ class GaEpochTask:
     params: GeneticParams
     generations: int
     deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class ScanTask:
+    """Score one slice of a candidate-mapping scan as a single batch."""
+
+    index: int
+    mappings: tuple[TaskMapping, ...]
+
+
+@dataclass(frozen=True)
+class ScanOutcome:
+    """Energies for one scan slice, in submission order."""
+
+    index: int
+    energies: tuple[float, ...]
+    evaluations: int
+    metrics: MetricsDelta | None = None
 
 
 class TaskRunner:
@@ -165,6 +188,10 @@ class TaskRunner:
             return self._incremental
         return self._reference_energy
 
+    def batch_energies(self, mappings: list[TaskMapping]) -> list[float]:
+        """Energies of *mappings* as one sweep (fast path: evaluate_many)."""
+        return score_population(self._energy(), mappings)
+
     # -- task telemetry --------------------------------------------------
     def _record_task(self, registry, kind: str, seconds: float) -> None:
         registry.counter(
@@ -193,6 +220,15 @@ class TaskRunner:
         start = None
         if task.greedy_start:
             start = greedy_mapping(self.spec)
+        if start is None and task.seed_scan > 0:
+            # Batched restart seeding: score all candidate starts in one
+            # evaluate_many sweep and begin from the best (ties by draw
+            # order keep this deterministic).
+            candidates = [draw_initial_mapping(self.spec, rng) for _ in range(task.seed_scan)]
+            energies = self.batch_energies(candidates)
+            sign = 1.0 if task.direction == "minimize" else -1.0
+            best = min(range(len(candidates)), key=lambda i: (sign * energies[i], i))
+            start = candidates[best]
         if start is None:
             start = draw_initial_mapping(self.spec, rng)
         best, energy_value, history = anneal(
@@ -211,6 +247,27 @@ class TaskRunner:
             mapping=best,
             energy=energy_value,
             history=tuple(history),
+            evaluations=self.count - start_count,
+        )
+
+    # -- candidate scans -------------------------------------------------
+    def run_scan(self, task: ScanTask) -> ScanOutcome:
+        """Score one scan slice; attaches a MetricsDelta when telemetry is on."""
+        if not self.telemetry_enabled:
+            return self._run_scan(task)
+        local = MetricsRegistry()
+        started = time.perf_counter()
+        with telemetry.use_registry(local):
+            outcome = self._run_scan(task)
+            self._record_task(local, "scan", time.perf_counter() - started)
+        return replace(outcome, metrics=local.collect_delta())
+
+    def _run_scan(self, task: ScanTask) -> ScanOutcome:
+        start_count = self.count
+        energies = self.batch_energies(list(task.mappings))
+        return ScanOutcome(
+            index=task.index,
+            energies=tuple(energies),
             evaluations=self.count - start_count,
         )
 
@@ -238,7 +295,7 @@ class TaskRunner:
         history = list(state.history)
         if state.population is None:
             population = [draw_initial_mapping(self.spec, rng) for _ in range(p.population)]
-            fitness = [fit(m) for m in population]
+            fitness = score_population(fit, population)
             history.append(min(fitness))
         else:
             population = list(state.population)
@@ -286,3 +343,8 @@ def _run_sa_task(task: SaTask) -> SaOutcome:
 def _run_ga_epoch_task(task: GaEpochTask) -> IslandState:
     assert _RUNNER is not None, "worker used before _initialize_worker"
     return _RUNNER.run_ga_epoch(task)
+
+
+def _run_scan_task(task: ScanTask) -> ScanOutcome:
+    assert _RUNNER is not None, "worker used before _initialize_worker"
+    return _RUNNER.run_scan(task)

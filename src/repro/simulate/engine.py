@@ -40,8 +40,6 @@ from collections import deque
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro._util import spawn_rng
 from repro.cluster.cluster import Cluster
 from repro.cluster.latency import LatencyModel
@@ -242,15 +240,15 @@ class ClusterSimulator:
         queued = [True] * program.nprocs
         delivered = 0
 
-        # Jitter draws are batched: one numpy call per 4096 ops instead
-        # of a scalar draw per op (the engine's hottest line).
+        # Jitter draws are batched: one bulk call per 4096 ops instead
+        # of a draw per op (the engine's hottest line).
         jitter_buf: list[float] = []
 
         def jitter() -> float:
             if cfg.jitter == 0.0:
                 return 1.0
             if not jitter_buf:
-                jitter_buf.extend(np.abs(rng.normal(1.0, cfg.jitter, size=4096)).tolist())
+                jitter_buf.extend(abs(x) for x in rng.normal(1.0, cfg.jitter, size=4096))
             return jitter_buf.pop()
 
         def transfer_latency(src_rank: int, dst_rank: int, size: float, start: float) -> float:

@@ -91,10 +91,13 @@ class IrregularApplication(WorkloadModel):
         if epoch > 0 and self.drift > 0:
             per_epoch = spawn_rng(self.structure_seed, "irr-structure", self.name, nprocs, epoch)
             new_weights = per_epoch.lognormal(0.0, self.imbalance, size=nprocs)
-            weights = (1.0 - self.drift) * weights + self.drift * new_weights
+            weights = [
+                (1.0 - self.drift) * w + self.drift * nw for w, nw in zip(weights, new_weights)
+            ]
             if per_epoch.random() < self.drift:
                 edges = self._draw_edges(per_epoch, nprocs)
-        weights = weights / weights.mean()
+        mean = sum(weights) / len(weights)
+        weights = [w / mean for w in weights]
         return weights, edges
 
     def _draw_edges(self, rng, nprocs: int):

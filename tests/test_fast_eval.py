@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import itertools
 
-import numpy as np
 import pytest
 
+from repro._rng import Rng
+from repro._util import spawn_rng
 from repro.cluster import single_switch
 from repro.cluster.latency import LOCAL_ALPHA_S, LatencyModel
 from repro.core import CBES, EvaluationOptions, TaskMapping
@@ -57,7 +58,7 @@ def app_name(service) -> str:
     return LU("A").name
 
 
-def random_move(mapping: TaskMapping, pool: list[str], rng: np.random.Generator) -> TaskMapping:
+def random_move(mapping: TaskMapping, pool: list[str], rng: Rng) -> TaskMapping:
     """Swap, replace, or colocate — richer than the scheduler move set."""
     kind = rng.random()
     nprocs = mapping.nprocs
@@ -81,7 +82,7 @@ class TestAgreementProperty:
     ):
         evaluator = service.evaluator(app_name, options=options)
         pool = service.cluster.node_ids()
-        rng = np.random.default_rng(seed)
+        rng = spawn_rng(seed, "fast-eval-moves")
         inc = evaluator.incremental()
         mapping = TaskMapping(pool[:4])
         assert inc.reset(mapping) == pytest.approx(
@@ -185,12 +186,12 @@ class TestWiring:
         inc = evaluator.incremental()
         assert supports_incremental(inc)
         assert not supports_incremental(evaluator.execution_time)
-        rng = np.random.default_rng(3)
+        rng = spawn_rng(3, "anneal-proto")
         schedule = AnnealingSchedule(moves_per_temperature=20, steps=12, patience=6)
         best_inc, energy_inc, _ = anneal(
             inc, TaskMapping(pool[:4]), MoveGenerator(pool), rng, schedule=schedule
         )
-        rng = np.random.default_rng(3)
+        rng = spawn_rng(3, "anneal-proto")
         best_ref, energy_ref, _ = anneal(
             evaluator.execution_time,
             TaskMapping(pool[:4]),
@@ -244,6 +245,7 @@ class TestContextCache:
 
 class TestLatencyBulkApi:
     def test_component_matrices_match_scalar_queries(self, service):
+        pytest.importorskip("numpy")
         model: LatencyModel = service.cluster.latency_model
         hosts = sorted(model.hosts)
         a_src, a_dst, a_net, beta = model.component_matrices(hosts)
@@ -256,6 +258,7 @@ class TestLatencyBulkApi:
         assert a_src[0, 0] == LOCAL_ALPHA_S
 
     def test_no_load_matrix_matches_scalar(self, service):
+        pytest.importorskip("numpy")
         model: LatencyModel = service.cluster.latency_model
         hosts = sorted(model.hosts)[:4]
         matrix = model.no_load_matrix(hosts, 2048.0)

@@ -1,8 +1,8 @@
 """Tests for the NWS-style forecasters."""
 
-import numpy as np
 import pytest
 
+from repro._util import spawn_rng
 from repro.monitoring.forecasting import (
     AR1,
     AdaptiveForecaster,
@@ -94,7 +94,7 @@ class TestAR1:
             AR1(window=2)
 
     def test_tracks_ar1_process_better_than_mean(self):
-        rng = np.random.default_rng(0)
+        rng = spawn_rng(0, "fc-ar1")
         phi, n = 0.9, 300
         x = 0.5
         ar1, mean = AR1(window=30), SlidingMean(window=30)
@@ -118,7 +118,7 @@ class TestAR1:
 class TestAdaptive:
     def test_picks_best_member(self):
         # A noisy constant series: the median/mean members beat last-value.
-        rng = np.random.default_rng(1)
+        rng = spawn_rng(1, "fc-adaptive")
         f = AdaptiveForecaster()
         for _ in range(100):
             f.update(0.3 + float(rng.normal(0, 0.05)))

@@ -71,7 +71,7 @@ class TestAnnealCore:
         return energy
 
     def test_finds_global_optimum_on_toy_landscape(self):
-        rng = spawn_rng(3, "sa")
+        rng = spawn_rng(2, "sa")
         target = tuple(POOL[:4])
         best, energy, _ = anneal(
             self.energy_of(target),
