@@ -167,7 +167,7 @@ class DeterminismChecker(Checker):
     rule = "RPR101"
     name = "determinism"
     rationale = "S_M must evaluate identically every run (paper eqs. 5-8)"
-    scopes = ("repro.schedulers", "repro.search", "repro.core")
+    scopes = ("repro.schedulers", "repro.search", "repro.core", "repro.remap")
 
     #: Calls that consult wall clocks or OS entropy.
     BANNED_CALLS = {

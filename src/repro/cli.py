@@ -362,6 +362,108 @@ def cmd_jobs(args) -> int:
         raise SystemExit(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}") from None
 
 
+def _parse_load_spec(spec: str) -> list[dict]:
+    """Parse ``node=cpu[:nic],node=cpu[:nic],...`` into event documents."""
+    events = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        node, sep, loads = part.partition("=")
+        if not sep or not node:
+            raise SystemExit(f"error: bad load spec {part!r} (want node=cpu or node=cpu:nic)")
+        cpu_text, _, nic_text = loads.partition(":")
+        try:
+            cpu = float(cpu_text)
+            nic = float(nic_text) if nic_text else 0.0
+        except ValueError:
+            raise SystemExit(f"error: bad load numbers in {part!r}") from None
+        events.append({"node": node, "cpu_load": cpu, "nic_load": nic})
+    if not events:
+        raise SystemExit("error: load spec names no nodes")
+    return events
+
+
+def cmd_remap(args) -> int:
+    client = _client(args)
+    try:
+        if args.remap_command == "inject":
+            result = client.inject_load(_parse_load_spec(args.load))
+            for event in result["applied"]:
+                print(
+                    f"{event['node']}: cpu_load={event['cpu_load']:g} "
+                    f"nic_load={event['nic_load']:g}"
+                )
+            print(f"snapshot {result['snapshot_fingerprint'][:12]} adopted")
+            return 0
+        if args.remap_command == "wait":
+            try:
+                decision = client.wait_decision(args.watch_id, timeout_s=args.timeout)
+            except TimeoutError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(json.dumps(decision, indent=2, sort_keys=True))
+            return 0
+        if args.remap_command == "decisions":
+            decisions = client.remap_decisions(args.limit)
+            if args.json:
+                print(json.dumps(decisions, indent=2, sort_keys=True))
+                return 0
+            if not decisions:
+                print("no remap decisions recorded")
+                return 0
+            for doc in decisions:
+                verdict = "remap" if doc["remap"] else "stay"
+                print(
+                    f"{doc['watch_id']} tick {doc['tick']:>3} ({doc['app']}): {verdict}  "
+                    f"drift {doc['drift'] * 100:+.1f}%  savings {doc['savings_s']:.2f}s  "
+                    f"cost {doc['migration_cost_s']:.2f}s  moves {len(doc['moves'])}"
+                )
+            return 0
+        # watch
+        mapping = [n.strip() for n in args.mapping.split(",") if n.strip()]
+        pool = [n.strip() for n in args.pool.split(",") if n.strip()] if args.pool else None
+        watch = client.remap_watch(
+            args.app,
+            mapping,
+            pool=pool,
+            interval_s=args.interval,
+            threshold=args.threshold,
+            cooldown_s=args.cooldown,
+            safety_factor=args.safety_factor,
+            seed=args.seed,
+            max_ticks=args.ticks,
+        )
+        print(
+            f"watch {watch['id']} on {watch['app']}: baseline "
+            f"{watch['baseline_s']:.2f}s, every {watch['interval_s']:g}s"
+        )
+        if not args.wait:
+            return 0
+        try:
+            decision = client.wait_decision(watch["id"], timeout_s=args.timeout)
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        verdict = "remap" if decision["remap"] else "stay"
+        print(
+            f"decision at tick {decision['tick']}: {verdict} "
+            f"(drift {decision['drift'] * 100:+.1f}%, savings {decision['savings_s']:.2f}s, "
+            f"migration cost {decision['migration_cost_s']:.2f}s)"
+        )
+        if decision["remap"]:
+            for move in decision["moves"]:
+                print(
+                    f"  rank {move['rank']}: {move['source']} -> {move['destination']} "
+                    f"({move['seconds'] * 1e3:.1f} ms)"
+                )
+        return 0
+    except ServerError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}") from None
+
+
 def cmd_metrics(args) -> int:
     client = _client(args)
     try:
@@ -511,6 +613,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_endpoint_args(p)
     p.add_argument("job_id", nargs="?", default=None, help="show one job as JSON")
     p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser("remap", help="drive a running daemon's online-remapping loop")
+    rsub = p.add_subparsers(dest="remap_command", required=True)
+
+    rw = rsub.add_parser("watch", help="register a remap watch on a running application")
+    add_endpoint_args(rw)
+    rw.add_argument("app", help="profiled application name, e.g. lu.A")
+    rw.add_argument("mapping", help="comma-separated node ids, rank order (current mapping)")
+    rw.add_argument("--pool", default=None, help="comma-separated candidate node pool")
+    rw.add_argument("--interval", type=float, default=1.0, help="watch tick period (s)")
+    rw.add_argument("--threshold", type=float, default=0.10, help="relative drift that fires")
+    rw.add_argument("--cooldown", type=float, default=0.0, help="min seconds between firings")
+    rw.add_argument(
+        "--safety-factor",
+        type=float,
+        default=1.5,
+        help="migration cost inflation in the remap rule",
+    )
+    rw.add_argument("--ticks", type=int, default=None, help="stop the watch after N ticks")
+    rw.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the watch records a decision (exit 1 if it never does)",
+    )
+    rw.set_defaults(func=cmd_remap)
+
+    rp = rsub.add_parser("wait", help="block until a watch records a decision")
+    add_endpoint_args(rp)
+    rp.add_argument("watch_id", help="watch id printed by `repro remap watch`")
+    rp.set_defaults(func=cmd_remap)
+
+    rd = rsub.add_parser("decisions", help="list recorded remap decisions")
+    add_endpoint_args(rd)
+    rd.add_argument("--limit", type=int, default=None, help="newest N decisions only")
+    rd.add_argument("--json", action="store_true", help="print raw decision documents")
+    rd.set_defaults(func=cmd_remap)
+
+    ri = rsub.add_parser("inject", help="inject background load (drift) into the daemon's cluster")
+    add_endpoint_args(ri)
+    ri.add_argument(
+        "load",
+        help="comma-separated node=cpu[:nic] assignments, e.g. 'grove-n00=1.5,grove-n01=1.5'",
+    )
+    ri.set_defaults(func=cmd_remap)
     return parser
 
 

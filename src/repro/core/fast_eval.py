@@ -278,6 +278,24 @@ class EvaluationContext:
         except KeyError as exc:
             raise InvalidMappingError(f"mapping uses unknown node {exc.args[0]!r}") from None
 
+    def migration_tables(
+        self,
+    ) -> tuple[
+        list[float], list[float], list[float], list[float], list[float], list[float]
+    ]:
+        """Flat columns for the topology-aware migration cost model.
+
+        Returns ``(a_src, a_dst, a_net, beta, binv, acpu1)``: the
+        row-major pair tables (``beta`` the no-load seconds-per-byte,
+        ``binv`` the fused load-adjusted slope) and the single-process
+        ACPU per node (``acpu_curve[j][1]`` — checkpoint transfers
+        involve one process per endpoint).  Used by :meth:`repro.remap.
+        cost.MigrationCostModel.moves_from_context` to price mapping
+        diffs without per-pair ``components()`` lookups.
+        """
+        acpu1 = [curve[1] for curve in self.acpu_curve]
+        return self._a_src, self._a_dst, self._a_net, self._beta, self._binv, acpu1
+
     def no_load(self, src: str, dst: str, size_bytes: float) -> float:
         """Memoized scalar no-load latency lookup (table keyed by pair+size)."""
         key = (self.index[src], self.index[dst], size_bytes)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import CbesError
 from repro.core.evaluation import MappingEvaluator
 from repro.core.mapping import TaskMapping
-from repro.core.remap import RemapAdvisor, RemapDecision
+from repro.remap.advisor import RemapAdvisor, RemapDecision
 from repro.core.service import CBES
 from repro.profiling.profile import ApplicationProfile
 

@@ -1,0 +1,146 @@
+"""Drift detection: when does changed load justify a remap evaluation?
+
+A :class:`DriftWatcher` stands between the monitoring subsystem and the
+remapper.  Each monitoring round, the caller feeds it the current
+mapping's *predicted remaining time* under the freshest (forecasted)
+snapshot together with the baseline prediction made when the mapping
+was adopted; the watcher turns that stream into discrete
+:class:`DriftEvent`\\ s worth spending a candidate search on.
+
+Three guards keep transient spikes from thrashing the application:
+
+* **threshold** — the smoothed relative degradation must exceed it;
+* **hysteresis** — after firing, the watcher re-arms only once the
+  signal recedes below ``threshold * hysteresis`` (a low-water mark),
+  so a value oscillating around the threshold fires once, not every
+  round;
+* **cooldown** — at least ``cooldown_s`` of logical time must separate
+  two events (and a :meth:`rebase` restarts the window), bounding the
+  remap frequency no matter what the signal does.
+
+The degradation series is smoothed through a :mod:`repro.monitoring.
+forecasting` forecaster (default ``last-value`` = no smoothing), so a
+bursty sensor can be tamed with ``ewma``/``mean`` without touching the
+thresholds.  Time is an explicit *logical* ``now_s`` argument — the
+watcher never reads a wall clock, keeping the whole loop deterministic
+and replayable (the daemon passes tick times, the closed-loop
+simulation passes simulated phase times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.monitoring.forecasting import make_forecaster
+from repro.telemetry import get_registry
+
+__all__ = ["DriftEvent", "DriftWatcher"]
+
+#: Metric family shared with the daemon's pre-declaration (identical
+#: name/help so registry declarations stay idempotent).
+DRIFT_EVENTS_TOTAL = (
+    "cbes_remap_drift_events_total",
+    "Drift events fired by remap watchers.",
+)
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One firing of the drift detector."""
+
+    #: Logical time of the observation that fired (seconds).
+    now_s: float
+    #: Smoothed relative degradation that crossed the threshold
+    #: (``predicted / baseline - 1`` after forecaster smoothing).
+    degradation: float
+    #: Raw predicted remaining time under the fresh snapshot.
+    predicted_s: float
+    #: Remaining time predicted when the current mapping was adopted.
+    baseline_s: float
+
+
+class DriftWatcher:
+    """Turns a degradation series into thrash-resistant drift events."""
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 0.10,
+        hysteresis: float = 0.5,
+        cooldown_s: float = 0.0,
+        forecaster: str = "last-value",
+    ) -> None:
+        if threshold <= 0.0:
+            raise ValueError("threshold must be > 0")
+        if not 0.0 <= hysteresis <= 1.0:
+            raise ValueError("hysteresis must be in [0, 1]")
+        if cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.cooldown_s = cooldown_s
+        self._kind = forecaster
+        self._forecaster = make_forecaster(forecaster)
+        self._armed = True
+        self._last_fired: float | None = None
+        self._events = 0
+
+    @property
+    def events(self) -> int:
+        """Total drift events fired over this watcher's lifetime."""
+        return self._events
+
+    @property
+    def armed(self) -> bool:
+        """Whether the next above-threshold observation may fire."""
+        return self._armed
+
+    def observe(
+        self, now_s: float, predicted_s: float, baseline_s: float
+    ) -> DriftEvent | None:
+        """Feed one monitoring round; returns an event when drift fires.
+
+        *predicted_s* is the current mapping's remaining time under the
+        freshest snapshot; *baseline_s* the remaining time expected when
+        the mapping was adopted (scaled by the same work fraction, so
+        the ratio isolates the *environmental* change).
+        """
+        if baseline_s <= 0.0:
+            raise ValueError("baseline_s must be > 0")
+        if predicted_s < 0.0:
+            raise ValueError("predicted_s must be >= 0")
+        degradation = predicted_s / baseline_s - 1.0
+        self._forecaster.update(degradation)
+        smoothed = self._forecaster.forecast()
+        if smoothed <= self.threshold * self.hysteresis:
+            # Signal receded below the low-water mark: re-arm.
+            self._armed = True
+        if smoothed <= self.threshold or not self._armed:
+            return None
+        if (
+            self._last_fired is not None
+            and now_s - self._last_fired < self.cooldown_s
+        ):
+            return None
+        self._armed = False
+        self._last_fired = now_s
+        self._events += 1
+        get_registry().counter(*DRIFT_EVENTS_TOTAL).inc()
+        return DriftEvent(
+            now_s=now_s,
+            degradation=smoothed,
+            predicted_s=predicted_s,
+            baseline_s=baseline_s,
+        )
+
+    def rebase(self, now_s: float) -> None:
+        """Reset after the watched mapping changed (remap adopted).
+
+        Drops the stale degradation history (the new mapping defines a
+        new baseline regime), re-arms the detector, and starts the
+        cooldown window at *now_s* so the fresh mapping gets at least
+        one quiet cooldown before the next event can fire.
+        """
+        self._forecaster = make_forecaster(self._kind)
+        self._armed = True
+        self._last_fired = now_s

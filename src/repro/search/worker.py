@@ -69,6 +69,10 @@ class SaTask:
     #: (the greedy start, when requested and feasible, still wins).
     seed_scan: int = 0
     direction: str = "minimize"
+    #: Explicit start mapping (warm start).  Takes precedence over
+    #: ``greedy_start`` and ``seed_scan``; the remapper uses it to
+    #: anneal outward from a running application's current mapping.
+    start: TaskMapping | None = None
     #: Absolute ``time.monotonic()`` deadline (CLOCK_MONOTONIC is
     #: system-wide on the platforms we support, so the instant computed
     #: by the master is meaningful inside a worker).
@@ -218,7 +222,11 @@ class TaskRunner:
         rng = spawn_rng(task.seed, *task.rng_parts)
         moves = MoveGenerator(list(self.spec.pool), swap_probability=task.swap_probability)
         start = None
-        if task.greedy_start:
+        if task.start is not None and self.spec.feasible(task.start):
+            # Warm start: anneal outward from an explicitly given mapping
+            # (e.g. a running application's current placement).
+            start = task.start
+        if start is None and task.greedy_start:
             start = greedy_mapping(self.spec)
         if start is None and task.seed_scan > 0:
             # Batched restart seeding: score all candidate starts in one

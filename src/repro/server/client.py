@@ -147,6 +147,90 @@ class CbesClient:
                 raise TimeoutError(f"job {job_id} still {state} after {timeout_s:.0f}s")
             time.sleep(poll_interval_s)
 
+    # -- remapping ------------------------------------------------------
+    def remap_watch(
+        self,
+        app: str,
+        mapping: list[str],
+        *,
+        pool: list[str] | None = None,
+        interval_s: float | None = None,
+        threshold: float | None = None,
+        hysteresis: float | None = None,
+        cooldown_s: float | None = None,
+        safety_factor: float | None = None,
+        seed: int | None = None,
+        max_ticks: int | None = None,
+    ) -> dict:
+        """Register a remap watch; returns the watch document (with ``id``).
+
+        The daemon then re-evaluates *mapping* under each fresh snapshot
+        every ``interval_s`` and records a cost/benefit decision whenever
+        drift past ``threshold`` fires; omitted knobs use the server
+        defaults.
+        """
+        body: dict = {"app": app, "mapping": mapping}
+        optional = {
+            "pool": pool,
+            "interval_s": interval_s,
+            "threshold": threshold,
+            "hysteresis": hysteresis,
+            "cooldown_s": cooldown_s,
+            "safety_factor": safety_factor,
+            "seed": seed,
+            "max_ticks": max_ticks,
+        }
+        body.update({key: value for key, value in optional.items() if value is not None})
+        return self._request("POST", "/v1/remap/watch", body)["watch"]
+
+    def remap_watches(self) -> list[dict]:
+        """Every registered watch's current state."""
+        return self._request("GET", "/v1/remap/watch")["watches"]
+
+    def remap_decisions(self, limit: int | None = None) -> list[dict]:
+        """Recorded remap decisions, oldest first."""
+        path = "/v1/remap/decisions" if limit is None else f"/v1/remap/decisions?limit={limit}"
+        return self._request("GET", path)["decisions"]
+
+    def inject_load(self, events: list[dict]) -> dict:
+        """Set background/NIC load on daemon cluster nodes.
+
+        *events* are ``{"node": id, "cpu_load": x, "nic_load": y}``
+        documents; the daemon adopts a fresh snapshot immediately.
+        """
+        return self._request("POST", "/v1/load", {"events": events})
+
+    def wait_decision(
+        self,
+        watch_id: str,
+        *,
+        timeout_s: float = 30.0,
+        poll_interval_s: float = 0.1,
+    ) -> dict:
+        """Poll until the watch records a decision (or finishes).
+
+        Returns the first decision document for *watch_id*; raises
+        ``TimeoutError`` if the watch hit ``max_ticks`` — or the
+        deadline passed — without one.
+        """
+        deadline = time.monotonic() + timeout_s
+        give_up = False
+        while True:
+            for decision in self.remap_decisions():
+                if decision.get("watch_id") == watch_id:
+                    return decision
+            if give_up:
+                raise TimeoutError(
+                    f"watch {watch_id} recorded no decision within {timeout_s:.0f}s"
+                )
+            # One more decisions fetch happens after the watch finishes,
+            # so a decision recorded on its final tick is not missed.
+            give_up = time.monotonic() >= deadline or any(
+                w["id"] == watch_id and w["done"] for w in self.remap_watches()
+            )
+            if not give_up:
+                time.sleep(poll_interval_s)
+
     # -- one-call conveniences ------------------------------------------
     def schedule(
         self,

@@ -31,6 +31,7 @@ import threading
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 from urllib.parse import parse_qs
 
@@ -39,6 +40,9 @@ from repro.core.evaluation import EvaluationOptions
 from repro.core.fast_eval import EvaluationContext, FastEvalUnavailable
 from repro.core.mapping import TaskMapping
 from repro.core.service import CBES
+from repro.monitoring.load import LoadEvent, LoadGenerator
+from repro.remap.drift import DRIFT_EVENTS_TOTAL, DriftWatcher
+from repro.remap.remapper import DECISIONS_TOTAL, MIGRATION_SECONDS_TOTAL, Remapper
 from repro.schedulers import make_scheduler
 from repro.server.jobs import Job, JobStore
 from repro.server.protocol import (
@@ -54,13 +58,68 @@ from repro.server.serialize import (
     schedule_result_to_dict,
     snapshot_to_dict,
     validate_job_payload,
+    validate_load_events,
+    validate_remap_watch,
 )
 from repro.telemetry.export import PROMETHEUS_CONTENT_TYPE, to_prometheus
 
-__all__ = ["CbesDaemon", "DaemonThread"]
+__all__ = ["CbesDaemon", "DaemonThread", "RemapWatch"]
 
 log = logging.getLogger("repro.server.daemon")
 access_log = logging.getLogger("repro.server.access")
+
+#: Retained remap decision documents (oldest dropped beyond this).
+MAX_DECISIONS = 256
+
+
+@dataclass
+class RemapWatch:
+    """State of one ``POST /v1/remap/watch`` registration.
+
+    Mutated only from the watch's own (strictly sequential) tick chain,
+    so no lock is needed; the listing endpoint reads a point-in-time
+    view of plain ints/floats.
+    """
+
+    id: str
+    app: str
+    mapping: TaskMapping
+    pool: tuple[str, ...] | None
+    interval_s: float
+    max_ticks: int | None
+    seed: int
+    #: Predicted execution time of the mapping under the snapshot the
+    #: watch was registered (or last remapped) against — the drift
+    #: baseline.  A daemon watch has no progress signal, so drift and
+    #: cost/benefit both use ``fraction_remaining=1.0`` (whole-run
+    #: scale); external callers with progress knowledge should drive
+    #: :class:`~repro.remap.remapper.Remapper` directly.
+    baseline_s: float
+    watcher: DriftWatcher
+    remapper: Remapper
+    ticks: int = 0
+    drift_events: int = 0
+    proposals: int = 0
+    remaps: int = 0
+    done: bool = False
+    task: asyncio.Task | None = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "app": self.app,
+            "mapping": list(self.mapping.as_tuple()),
+            "pool": list(self.pool) if self.pool is not None else None,
+            "interval_s": self.interval_s,
+            "max_ticks": self.max_ticks,
+            "seed": self.seed,
+            "baseline_s": self.baseline_s,
+            "ticks": self.ticks,
+            "drift_events": self.drift_events,
+            "proposals": self.proposals,
+            "remaps": self.remaps,
+            "done": self.done,
+        }
 
 
 class CbesDaemon:
@@ -154,6 +213,11 @@ class CbesDaemon:
         #: from the *current* snapshot generation.
         self._contexts: dict[tuple[str, EvaluationOptions], EvaluationContext] = {}
         self._ctx_lock = threading.Lock()
+        self._watches: dict[str, RemapWatch] = {}
+        self._watch_seq = 0
+        #: Remap decision documents, oldest first, capped at MAX_DECISIONS.
+        self._decisions: list[dict] = []
+        self._decision_lock = threading.Lock()
 
     # -- properties -----------------------------------------------------
     @property
@@ -209,6 +273,17 @@ class CbesDaemon:
         )
         self._m_refreshes = m.counter(
             "cbes_snapshot_refreshes_total", "Snapshot generations adopted."
+        )
+        # Remap families are incremented by repro.remap through the
+        # ambient registry; declaring them here (same name/help) makes
+        # them visible at /v1/metrics from the first scrape.
+        m.counter(*DRIFT_EVENTS_TOTAL)
+        m.counter(*DECISIONS_TOTAL)
+        m.counter(*MIGRATION_SECONDS_TOTAL)
+        m.gauge(
+            "cbes_remap_watches",
+            "Registered remap watches (including finished ones).",
+            callback=lambda: len(self._watches),
         )
         m.gauge(
             "cbes_queue_depth",
@@ -313,9 +388,12 @@ class CbesDaemon:
                     self._queue.task_done()
         if self._refresh_task is not None:
             self._refresh_task.cancel()
-        for task in self._worker_tasks:
+        watch_tasks = [w.task for w in self._watches.values() if w.task is not None]
+        for task in (*self._worker_tasks, *watch_tasks):
             task.cancel()
-        pending = [t for t in (*self._worker_tasks, self._refresh_task) if t is not None]
+        pending = [
+            t for t in (*self._worker_tasks, *watch_tasks, self._refresh_task) if t is not None
+        ]
         await asyncio.gather(*pending, return_exceptions=True)
         assert self._executor is not None
         self._executor.shutdown(wait=True)
@@ -537,7 +615,17 @@ class CbesDaemon:
 
     #: Fixed route set for metric labels; anything else collapses into
     #: one bucket so a client cannot mint unbounded label cardinality.
-    _ROUTES = ("/v1/jobs", "/v1/healthz", "/v1/snapshot", "/v1/profiles", "/v1/metrics", "/v1/traces")
+    _ROUTES = (
+        "/v1/jobs",
+        "/v1/healthz",
+        "/v1/snapshot",
+        "/v1/profiles",
+        "/v1/metrics",
+        "/v1/traces",
+        "/v1/remap/watch",
+        "/v1/remap/decisions",
+        "/v1/load",
+    )
 
     @classmethod
     def _route_of(cls, path: str) -> str:
@@ -574,8 +662,30 @@ class CbesDaemon:
                     404, "not-found", f"no job {job_id!r} (unknown, or expired past TTL)"
                 ) from None
             return 200, {"job": job.to_dict()}, {}
+        if path == "/v1/remap/watch":
+            if method == "POST":
+                return self._create_watch(request)
+            if method == "GET":
+                return 200, {"watches": [w.to_dict() for w in self._watches.values()]}, {}
+            raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
+        if path == "/v1/load":
+            if method == "POST":
+                return self._inject_load(request)
+            raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
         if method != "GET":
             raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
+        if path == "/v1/remap/decisions":
+            limit = None
+            if "limit" in query:
+                try:
+                    limit = int(query["limit"][0])
+                except ValueError:
+                    raise ApiError(400, "bad-request", "limit must be an integer") from None
+            with self._decision_lock:
+                decisions = list(self._decisions)
+            if limit is not None:
+                decisions = decisions[-limit:] if limit > 0 else []
+            return 200, {"decisions": decisions}, {}
         if path == "/v1/healthz":
             return 200, self._health(), {}
         if path == "/v1/snapshot":
@@ -617,6 +727,140 @@ class CbesDaemon:
         log.info("job %s (%s app=%s req=%s) queued", job.id, kind, payload["app"], request_id)
         return 202, {"job": job.to_dict()}, {}
 
+    # -- remap watches ---------------------------------------------------
+    def _create_watch(self, request: HttpRequest) -> tuple[int, dict, dict]:
+        """``POST /v1/remap/watch``: register a background remap loop."""
+        if self._draining:
+            raise ApiError(503, "shutting-down", "daemon is draining; no new watches")
+        assert self._loop is not None
+        doc = validate_remap_watch(self._service, request.json())
+        mapping = TaskMapping(doc["mapping"])
+        evaluator = self._service.evaluator(doc["app"], snapshot=self._snapshot)
+        try:
+            baseline_s = evaluator.execution_time(mapping)
+        except Exception as exc:  # e.g. rank count != profiled nprocs
+            raise ApiError(400, "bad-request", f"mapping rejected: {exc}") from None
+        self._watch_seq += 1
+        watch = RemapWatch(
+            id=f"w{self._watch_seq:04d}",
+            app=doc["app"],
+            mapping=mapping,
+            pool=tuple(doc["pool"]) if doc["pool"] is not None else None,
+            interval_s=doc["interval_s"],
+            max_ticks=doc["max_ticks"],
+            seed=doc["seed"],
+            baseline_s=baseline_s,
+            watcher=DriftWatcher(
+                threshold=doc["threshold"],
+                hysteresis=doc["hysteresis"],
+                cooldown_s=doc["cooldown_s"],
+            ),
+            remapper=Remapper(safety_factor=doc["safety_factor"]),
+        )
+        self._watches[watch.id] = watch
+        watch.task = self._loop.create_task(
+            self._watch_loop(watch), name=f"cbes-remap-{watch.id}"
+        )
+        log.info(
+            "remap watch %s registered (app=%s interval=%.2fs baseline=%.2fs)",
+            watch.id,
+            watch.app,
+            watch.interval_s,
+            baseline_s,
+        )
+        return 201, {"watch": watch.to_dict()}, {}
+
+    async def _watch_loop(self, watch: RemapWatch) -> None:
+        """Drive one watch: refresh the snapshot, then tick, repeat.
+
+        Ticks are awaited one at a time, so a watch never has two
+        proposals in flight — drift arriving while a remap decision is
+        being computed is simply observed on the next tick, against the
+        already-adopted mapping.
+        """
+        assert self._loop is not None
+        while not watch.done:
+            await asyncio.sleep(watch.interval_s)
+            watch.ticks += 1
+            try:
+                snapshot = await self._loop.run_in_executor(None, self._poll_snapshot)
+                self._adopt_snapshot(snapshot)
+                await self._loop.run_in_executor(self._executor, self._watch_tick, watch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - keep the watch alive
+                log.warning("remap watch %s tick failed: %s", watch.id, exc)
+            if watch.max_ticks is not None and watch.ticks >= watch.max_ticks:
+                watch.done = True
+                log.info("remap watch %s finished after %d tick(s)", watch.id, watch.ticks)
+
+    def _watch_tick(self, watch: RemapWatch) -> None:
+        """One monitoring tick, on a worker thread (CPU-bound search)."""
+        snapshot = self._snapshot  # one atomic read per tick
+        evaluator = self._service.evaluator(watch.app, snapshot=snapshot)
+        self._context_for(watch.app, evaluator.options, snapshot, evaluator)
+        now_s = watch.ticks * watch.interval_s  # logical clock: deterministic
+        predicted_s = evaluator.execution_time(watch.mapping)
+        event = watch.watcher.observe(now_s, predicted_s, watch.baseline_s)
+        if event is None:
+            return
+        watch.drift_events += 1
+        plan = watch.remapper.propose(
+            evaluator,
+            watch.mapping,
+            pool=watch.pool,
+            fraction_remaining=1.0,
+            seed=watch.seed,
+        )
+        watch.proposals += 1
+        doc = plan.to_dict()
+        doc.update(
+            watch_id=watch.id,
+            app=watch.app,
+            tick=watch.ticks,
+            at_s=now_s,
+            drift=round(event.degradation, 6),
+            snapshot_fingerprint=snapshot.fingerprint(),
+        )
+        with self._decision_lock:
+            self._decisions.append(doc)
+            del self._decisions[:-MAX_DECISIONS]
+        if plan.remap:
+            watch.mapping = plan.candidate
+            watch.remaps += 1
+            watch.watcher.rebase(now_s)
+            watch.baseline_s = evaluator.execution_time(plan.candidate)
+        log.info(
+            "remap watch %s tick %d: drift %.1f%% -> %s (savings %.2fs, cost %.2fs)",
+            watch.id,
+            watch.ticks,
+            event.degradation * 100.0,
+            "remap" if plan.remap else "stay",
+            plan.savings_s,
+            plan.migration_cost_s,
+        )
+
+    def _inject_load(self, request: HttpRequest) -> tuple[int, dict, dict]:
+        """``POST /v1/load``: set background/NIC load on cluster nodes.
+
+        The test/demo lever for the closed loop: it mutates the daemon's
+        *simulated* cluster (the same thing the monitor measures), then
+        adopts a fresh snapshot immediately so watches and jobs see the
+        new conditions without waiting out the refresh interval.
+        """
+        triples = validate_load_events(self._service, request.json())
+        events = [LoadEvent(node, cpu_load=cpu, nic_load=nic) for node, cpu, nic in triples]
+        LoadGenerator(self._service.cluster).apply(events)
+        snapshot = self._poll_snapshot()
+        self._adopt_snapshot(snapshot)
+        return 200, {
+            "applied": [
+                {"node": e.node_id, "cpu_load": e.cpu_load, "nic_load": e.nic_load}
+                for e in events
+            ],
+            "snapshot_fingerprint": snapshot.fingerprint(),
+        }, {}
+
     def _health(self) -> dict:
         assert self._queue is not None and self._started_at is not None
         return {
@@ -629,6 +873,8 @@ class CbesDaemon:
             "snapshot_fingerprint": self._snapshot.fingerprint(),
             "snapshot_refreshes": self._snapshot_refreshes,
             "monitoring": self._service.is_monitoring,
+            "remap_watches": len(self._watches),
+            "remap_decisions": len(self._decisions),
         }
 
 

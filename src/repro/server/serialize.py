@@ -24,6 +24,8 @@ __all__ = [
     "schedule_result_to_dict",
     "snapshot_to_dict",
     "validate_job_payload",
+    "validate_load_events",
+    "validate_remap_watch",
 ]
 
 JOB_KINDS = ("schedule", "predict", "compare")
@@ -198,6 +200,114 @@ def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
             checked.append(nodes)
         payload.update(mappings=checked)
     return kind, payload
+
+
+def _number(
+    doc: dict,
+    name: str,
+    default: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+    exclusive: bool = False,
+) -> float:
+    """Pull an optional numeric field with range validation."""
+    value = doc.get(name, default)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ApiError(400, "bad-request", f"payload field {name!r} must be a number")
+    if minimum is not None and (value <= minimum if exclusive else value < minimum):
+        bound = f"> {minimum}" if exclusive else f">= {minimum}"
+        raise ApiError(400, "bad-request", f"payload field {name!r} must be {bound}")
+    if maximum is not None and value > maximum:
+        raise ApiError(400, "bad-request", f"payload field {name!r} must be <= {maximum}")
+    return float(value)
+
+
+def _checked_nodes(service, value: object, what: str) -> list[str]:
+    nodes = _node_list(value, what)
+    unknown = sorted(set(nodes) - set(service.cluster.node_ids()))
+    if unknown:
+        raise ApiError(400, "bad-request", f"{what} uses unknown node(s) {unknown[:5]}")
+    return nodes
+
+
+def validate_remap_watch(service, doc: object) -> dict:
+    """Validate a ``POST /v1/remap/watch`` body.
+
+    Returns the normalized watch configuration: app canonicalized,
+    mapping/pool node ids checked against the cluster, tuning knobs
+    (drift threshold, hysteresis, cooldown, safety factor) defaulted and
+    range-checked.  Raises :class:`ApiError` (status 400) otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise ApiError(400, "bad-request", "watch payload must be a JSON object")
+    known = {
+        "app",
+        "mapping",
+        "pool",
+        "interval_s",
+        "threshold",
+        "hysteresis",
+        "cooldown_s",
+        "safety_factor",
+        "seed",
+        "max_ticks",
+    }
+    unknown = set(doc) - known
+    if unknown:
+        raise ApiError(400, "bad-request", f"unknown payload field(s) {sorted(unknown)}")
+    app = _resolve_app(service, doc.get("app"))
+    mapping = _checked_nodes(service, doc.get("mapping"), "mapping")
+    pool = None
+    if doc.get("pool") is not None:
+        pool = _checked_nodes(service, doc["pool"], "pool")
+    seed = doc.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ApiError(400, "bad-request", "payload field 'seed' must be an integer")
+    max_ticks = doc.get("max_ticks")
+    if max_ticks is not None and (
+        not isinstance(max_ticks, int) or isinstance(max_ticks, bool) or max_ticks < 1
+    ):
+        raise ApiError(400, "bad-request", "payload field 'max_ticks' must be an integer >= 1")
+    return {
+        "app": app,
+        "mapping": mapping,
+        "pool": pool,
+        "interval_s": _number(doc, "interval_s", 5.0, minimum=0.0, exclusive=True),
+        "threshold": _number(doc, "threshold", 0.10, minimum=0.0, exclusive=True),
+        "hysteresis": _number(doc, "hysteresis", 0.5, minimum=0.0, maximum=1.0),
+        "cooldown_s": _number(doc, "cooldown_s", 0.0, minimum=0.0),
+        "safety_factor": _number(doc, "safety_factor", 1.5, minimum=0.0, exclusive=True),
+        "seed": seed,
+        "max_ticks": max_ticks,
+    }
+
+
+def validate_load_events(service, doc: object) -> list[tuple[str, float, float]]:
+    """Validate a ``POST /v1/load`` body.
+
+    Expects ``{"events": [{"node": id, "cpu_load": x, "nic_load": y}]}``
+    and returns ``(node, cpu_load, nic_load)`` triples — the daemon
+    materializes the actual :class:`~repro.monitoring.load.LoadEvent`
+    objects (this module stays import-light).
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("events"), list) or not doc["events"]:
+        raise ApiError(400, "bad-request", "payload must be {'events': [...]} with >= 1 event")
+    cluster_nodes = set(service.cluster.node_ids())
+    events = []
+    for i, entry in enumerate(doc["events"]):
+        if not isinstance(entry, dict):
+            raise ApiError(400, "bad-request", f"events[{i}] must be a JSON object")
+        node = entry.get("node")
+        if not isinstance(node, str) or node not in cluster_nodes:
+            raise ApiError(400, "bad-request", f"events[{i}] names unknown node {node!r}")
+        cpu = _number(entry, "cpu_load", 0.0, minimum=0.0)
+        nic = _number(entry, "nic_load", 0.0, minimum=0.0, maximum=1.0)
+        extra = set(entry) - {"node", "cpu_load", "nic_load"}
+        if extra:
+            raise ApiError(400, "bad-request", f"events[{i}] has unknown field(s) {sorted(extra)}")
+        events.append((node, cpu, nic))
+    return events
 
 
 # -- outbound -----------------------------------------------------------

@@ -1,0 +1,327 @@
+"""Tests for the online-remapping subsystem (``repro.remap``).
+
+Covers the three pieces and their composition: the topology-aware
+migration cost model (scalar reference vs vectorized fast-eval diff
+path), the hysteresis/cooldown drift watcher, the warm-started
+remapper (including decision determinism across search parallelism),
+and the closed-loop simulation experiment.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES, TaskMapping
+from repro.monitoring.load import LoadEvent, LoadGenerator
+from repro.remap import DriftWatcher, MigrationCostModel, Remapper
+from repro.simulate.closedloop import LoadPhase, run_closed_loop
+from repro.workloads import LU, SyntheticBenchmark
+
+
+NNODES = 8
+NPROCS = 4
+
+
+def make_service(duration_s: float = 120.0):
+    """A calibrated 8-node service with one profiled synthetic app."""
+    service = CBES(single_switch("rm", NNODES))
+    service.calibrate(seed=2)
+    app = SyntheticBenchmark(comm_fraction=0.25, duration_s=duration_s, steps=4)
+    service.profile_application(app, NPROCS, seed=1)
+    return service, app
+
+
+@pytest.fixture(scope="module")
+def service_and_app():
+    return make_service()
+
+
+@pytest.fixture(scope="module")
+def profiled(service_and_app):
+    service, app = service_and_app
+    return service.profile(app.name)
+
+
+class TestMigrationCostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel(quiesce_s=-1.0)
+        with pytest.raises(ValueError):
+            MigrationCostModel(checkpoint_base_bytes=-1.0)
+        with pytest.raises(ValueError):
+            MigrationCostModel(checkpoint_traffic_fraction=-0.1)
+
+    def test_checkpoint_bytes_track_profiled_traffic(self, profiled):
+        model = MigrationCostModel(
+            checkpoint_base_bytes=1024.0, checkpoint_traffic_fraction=0.5
+        )
+        sizes = model.checkpoint_bytes(profiled)
+        assert len(sizes) == NPROCS
+        for size, proc in zip(sizes, profiled.processes, strict=True):
+            assert size == 1024.0 + 0.5 * proc.bytes_sent
+
+    def test_zero_move_candidate_costs_exactly_zero(self, service_and_app, profiled):
+        """The no-diff plan is free: no fixed cost, no transfers."""
+        service, app = service_and_app
+        evaluator = service.evaluator(app.name)
+        mapping = TaskMapping(service.cluster.node_ids()[:NPROCS])
+        model = MigrationCostModel()
+        moves = model.moves(profiled, evaluator.latency_model, mapping, mapping)
+        assert moves == ()
+        assert model.total_cost(moves) == 0.0
+
+    def test_all_ranks_move_charges_every_rank(self, service_and_app, profiled):
+        service, app = service_and_app
+        evaluator = service.evaluator(app.name)
+        nodes = service.cluster.node_ids()
+        current = TaskMapping(nodes[:NPROCS])
+        candidate = TaskMapping(nodes[NPROCS : 2 * NPROCS])  # disjoint: all move
+        model = MigrationCostModel()
+        moves = model.moves(
+            profiled, evaluator.latency_model, current, candidate,
+            snapshot=evaluator.snapshot,
+        )
+        assert [m.rank for m in moves] == list(range(NPROCS))
+        assert all(m.seconds > 0.0 for m in moves)
+        total = model.total_cost(moves)
+        assert total > model.fixed_s
+        assert total == pytest.approx(model.fixed_s + sum(m.seconds for m in moves))
+
+    def test_mismatched_mappings_rejected(self, service_and_app, profiled):
+        service, app = service_and_app
+        evaluator = service.evaluator(app.name)
+        nodes = service.cluster.node_ids()
+        with pytest.raises(ValueError):
+            MigrationCostModel().moves(
+                profiled,
+                evaluator.latency_model,
+                TaskMapping(nodes[:NPROCS]),
+                TaskMapping(nodes[: NPROCS - 1]),
+            )
+
+    @pytest.mark.parametrize("load_adjusted", [True, False])
+    def test_vectorized_diff_matches_scalar_reference(self, load_adjusted):
+        """The fast-eval diff path reproduces per-move costs to 1e-9."""
+        service, app = make_service()
+        generator = LoadGenerator(service.cluster)
+        nodes = service.cluster.node_ids()
+        events = [
+            LoadEvent(nodes[0], cpu_load=1.5, nic_load=0.3),
+            LoadEvent(nodes[5], cpu_load=0.5),
+        ]
+        with generator.loaded(events):
+            evaluator = service.evaluator(app.name)
+            context = evaluator.fast_context(evaluator.options)
+            model = MigrationCostModel(load_adjusted=load_adjusted)
+            current = TaskMapping(nodes[:NPROCS])
+            candidate = TaskMapping([nodes[5], nodes[1], nodes[6], nodes[7]])
+            scalar = model.moves(
+                service.profile(app.name),
+                evaluator.latency_model,
+                current,
+                candidate,
+                snapshot=evaluator.snapshot,
+            )
+            vector = model.moves_from_context(context, current, candidate)
+        assert len(scalar) == len(vector) == 3  # rank 1 stays on nodes[1]
+        for s, v in zip(scalar, vector, strict=True):
+            assert (s.rank, s.source, s.destination) == (v.rank, v.source, v.destination)
+            assert s.checkpoint_bytes == v.checkpoint_bytes
+            # Float association differs (precomputed beta/(1-nic) slope
+            # vs the scalar division), so bit-equality is not expected.
+            assert math.isclose(s.seconds, v.seconds, rel_tol=1e-9)
+
+
+class TestDriftWatcher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftWatcher(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftWatcher(hysteresis=1.5)
+        with pytest.raises(ValueError):
+            DriftWatcher(cooldown_s=-1.0)
+
+    def test_flat_series_never_fires(self):
+        watcher = DriftWatcher(threshold=0.10)
+        for tick in range(50):
+            assert watcher.observe(float(tick), 100.0, 100.0) is None
+        assert watcher.events == 0
+        assert watcher.armed
+
+    def test_fires_once_then_rearms_below_low_water_mark(self):
+        watcher = DriftWatcher(threshold=0.10, hysteresis=0.5)
+        event = watcher.observe(1.0, 120.0, 100.0)  # +20% drift
+        assert event is not None
+        assert event.degradation == pytest.approx(0.20)
+        # Still degraded: disarmed, no refire.
+        assert watcher.observe(2.0, 125.0, 100.0) is None
+        # Receded, but above threshold * hysteresis: still disarmed.
+        assert watcher.observe(3.0, 108.0, 100.0) is None
+        assert watcher.observe(4.0, 120.0, 100.0) is None
+        # Below the low-water mark (5%): re-arm, then fire again.
+        assert watcher.observe(5.0, 104.0, 100.0) is None
+        assert watcher.observe(6.0, 120.0, 100.0) is not None
+        assert watcher.events == 2
+
+    def test_cooldown_suppresses_back_to_back_firings(self):
+        watcher = DriftWatcher(threshold=0.10, hysteresis=0.5, cooldown_s=10.0)
+        assert watcher.observe(1.0, 120.0, 100.0) is not None
+        # Recede (re-arm) then cross again within the cooldown window.
+        assert watcher.observe(2.0, 100.0, 100.0) is None
+        assert watcher.observe(3.0, 130.0, 100.0) is None  # suppressed
+        assert watcher.armed  # suppression does not consume the arm
+        # Past the cooldown the same signal fires.
+        assert watcher.observe(12.0, 130.0, 100.0) is not None
+        assert watcher.events == 2
+
+    def test_rebase_restarts_cooldown_and_history(self):
+        watcher = DriftWatcher(threshold=0.10, cooldown_s=5.0)
+        assert watcher.observe(1.0, 150.0, 100.0) is not None
+        watcher.rebase(2.0)
+        assert watcher.armed
+        # Inside the post-remap cooldown: suppressed despite huge drift.
+        assert watcher.observe(4.0, 200.0, 100.0) is None
+        assert watcher.observe(8.0, 200.0, 100.0) is not None
+
+    def test_invalid_observations_rejected(self):
+        watcher = DriftWatcher()
+        with pytest.raises(ValueError):
+            watcher.observe(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            watcher.observe(0.0, -1.0, 10.0)
+
+
+class TestRemapper:
+    def test_stays_put_without_drift(self, service_and_app):
+        """On an unloaded cluster the incumbent is (near) optimal: stay."""
+        service, app = service_and_app
+        evaluator = service.evaluator(app.name)
+        current = TaskMapping(service.cluster.node_ids()[:NPROCS])
+        plan = Remapper(restarts=2, seed_scan=4).propose(evaluator, current, seed=3)
+        assert plan.remap is False
+        assert plan.current == current
+
+    def test_remaps_off_loaded_nodes_deterministically(self):
+        """Load the mapped nodes; the plan escapes them, and the decision
+        is byte-identical across search parallelism."""
+        service, app = make_service()
+        nodes = service.cluster.node_ids()
+        current = TaskMapping(nodes[:NPROCS])
+        generator = LoadGenerator(service.cluster)
+        events = [LoadEvent(n, cpu_load=1.5) for n in nodes[:NPROCS]]
+        with generator.loaded(events):
+            evaluator = service.evaluator(app.name)
+            plans = [
+                Remapper(restarts=2, seed_scan=4, parallel=parallel).propose(
+                    evaluator, current, seed=11
+                )
+                for parallel in (1, 2)
+            ]
+        serial, parallel = plans
+        assert serial.to_dict() == parallel.to_dict()
+        assert serial.remap is True
+        loaded = set(nodes[:NPROCS])
+        assert not loaded & set(serial.candidate.as_tuple())
+        assert serial.savings_s > serial.migration_cost_s * serial.safety_factor
+        assert serial.migration_cost_s > 0.0
+        assert serial.evaluations > 0
+
+    def test_bad_inputs_rejected(self, service_and_app):
+        service, app = service_and_app
+        evaluator = service.evaluator(app.name)
+        current = TaskMapping(service.cluster.node_ids()[:NPROCS])
+        remapper = Remapper()
+        with pytest.raises(ValueError):
+            remapper.propose(evaluator, current, fraction_remaining=0.0)
+        with pytest.raises(ValueError):
+            remapper.propose(evaluator, current, pool=[])
+        with pytest.raises(ValueError):
+            Remapper(safety_factor=0.0)
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def lu_service(self):
+        service = CBES(single_switch("loop", NNODES))
+        service.calibrate(seed=7)
+        app = LU("A")
+        service.profile_application(app, NPROCS, seed=3)
+        return service, app
+
+    def test_remap_beats_stay_under_drift(self, lu_service):
+        service, app = lu_service
+        nodes = service.cluster.node_ids()
+        scenario = [
+            LoadPhase(
+                at_fraction=0.25,
+                events=tuple(LoadEvent(n, cpu_load=1.5) for n in nodes[:NPROCS]),
+            )
+        ]
+        stay = run_closed_loop(
+            service, app, NPROCS, scenario=scenario, phases=6, policy="stay", seed=0
+        )
+        remap = run_closed_loop(
+            service, app, NPROCS, scenario=scenario, phases=6, policy="remap", seed=0
+        )
+        assert remap.remaps == 1  # one switch, no thrash after rebase
+        assert remap.drift_events >= 1
+        assert remap.migration_s > 0.0
+        assert remap.makespan_s < stay.makespan_s
+        assert remap.makespan_s == pytest.approx(
+            remap.compute_s + remap.migration_s
+        )
+        assert set(remap.final_mapping.as_tuple()).isdisjoint(nodes[:NPROCS])
+        # Injected loads are restored even though the run remapped.
+        assert all(service.cluster.node(n).background_load == 0.0 for n in nodes)
+
+    def test_steady_scenario_never_remaps(self, lu_service):
+        service, app = lu_service
+        steady = run_closed_loop(
+            service, app, NPROCS, scenario=(), phases=6, policy="remap", seed=0
+        )
+        assert steady.remaps == 0
+        assert steady.drift_events == 0
+        assert steady.decisions == ()
+        assert steady.migration_s == 0.0
+
+    def test_cooldown_rides_out_late_second_injection(self, lu_service):
+        """A second drift inside the watcher cooldown is ridden out: the
+        run still remaps exactly once (in-flight work is never preempted
+        by a new event — ticks are strictly sequential)."""
+        service, app = lu_service
+        nodes = service.cluster.node_ids()
+        scenario = [
+            LoadPhase(
+                at_fraction=0.2,
+                events=tuple(LoadEvent(n, cpu_load=1.5) for n in nodes[:NPROCS]),
+            ),
+            LoadPhase(
+                at_fraction=0.7,
+                events=tuple(
+                    LoadEvent(n, cpu_load=0.8) for n in nodes[NPROCS : 2 * NPROCS]
+                ),
+            ),
+        ]
+        result = run_closed_loop(
+            service,
+            app,
+            NPROCS,
+            scenario=scenario,
+            phases=6,
+            policy="remap",
+            watcher=DriftWatcher(threshold=0.10, cooldown_s=1e9),
+            seed=0,
+        )
+        assert result.drift_events == 1
+        assert result.remaps == 1
+        assert all(service.cluster.node(n).background_load == 0.0 for n in nodes)
+
+    def test_invalid_arguments_rejected(self, lu_service):
+        service, app = lu_service
+        with pytest.raises(ValueError):
+            run_closed_loop(service, app, NPROCS, policy="flip-flop")
+        with pytest.raises(ValueError):
+            run_closed_loop(service, app, NPROCS, phases=0)
+        with pytest.raises(ValueError):
+            LoadPhase(at_fraction=1.0, events=())
