@@ -126,6 +126,7 @@ class CbesScheduler(Scheduler):
             self.parallel,
             mp_context=self._mp_context,
             share_bound=self._share_bound,
+            reuse_pool=self._reuse_pool,
         )
         result = portfolio.run_sa(spec, tasks, direction=self._direction, context=context)
         evaluator.record_evaluations(result.evaluations)

@@ -246,6 +246,7 @@ class GeneticScheduler(Scheduler):
             workers=self.parallel,
             mp_context=self._mp_context,
             deadline=self._deadline(),
+            reuse_pool=self._reuse_pool,
         )
         evaluator.record_evaluations(result.evaluations)
         return result.mapping, result.energy, result.history

@@ -11,6 +11,7 @@ byte-identical mappings for the same master seed.
 
 from repro.search.bound import LocalBound, SharedBound
 from repro.search.islands import IslandResult, run_island_ga
+from repro.search.pool import WorkerPool, get_pool, shutdown_pool
 from repro.search.portfolio import ParallelPortfolio, PortfolioResult, effective_workers
 from repro.search.spec import SearchSpec, draw_initial_mapping, greedy_mapping
 from repro.search.worker import GaEpochTask, IslandState, SaOutcome, SaTask, TaskRunner
@@ -24,6 +25,9 @@ __all__ = [
     "ParallelPortfolio",
     "PortfolioResult",
     "effective_workers",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
     "SaTask",
     "SaOutcome",
     "TaskRunner",

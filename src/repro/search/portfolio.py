@@ -14,13 +14,20 @@ Two opt-in features trade that determinism for throughput and are
 therefore off by default: ``share_bound`` (chains publish their best
 cost through a shared value and abandon basins they have already lost)
 and per-task deadlines (set by the scheduler's ``time_budget``).
+
+By default the pooled paths run on the process-wide *warm* pool
+(:mod:`repro.search.pool`): the executor persists across calls and its
+workers cache their ``TaskRunner`` per spec fingerprint, so repeat
+schedule calls skip both the pool spawn and the context rebuild.
+``reuse_pool=False`` (or ``REPRO_WARM_POOL=0``) restores the historical
+per-call executor; ``share_bound=True`` implies it, because the shared
+ctypes value must thread through a dedicated pool initializer.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing as mp
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -28,6 +35,12 @@ from repro import telemetry
 from repro.core.fast_eval import EvaluationContext
 from repro.core.mapping import TaskMapping
 from repro.search.bound import LocalBound
+from repro.search.pool import (
+    default_start_method,
+    effective_workers,
+    get_pool,
+    warm_pool_enabled,
+)
 from repro.search.spec import SearchSpec
 from repro.search.worker import (
     SaOutcome,
@@ -40,22 +53,13 @@ from repro.search.worker import (
     _run_scan_task,
 )
 
-__all__ = ["ParallelPortfolio", "PortfolioResult", "ScanResult", "default_start_method"]
-
-
-def default_start_method() -> str:
-    """``fork`` where available (cheap, inherits the spec for free),
-    ``spawn`` elsewhere."""
-    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-
-
-def effective_workers(requested: int) -> int:
-    """Clamp a worker request to the CPUs actually schedulable here."""
-    try:
-        available = len(os.sched_getaffinity(0))
-    except AttributeError:  # platforms without sched_getaffinity
-        available = os.cpu_count() or 1
-    return max(1, min(requested, available))
+__all__ = [
+    "ParallelPortfolio",
+    "PortfolioResult",
+    "ScanResult",
+    "default_start_method",
+    "effective_workers",
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,7 @@ class ParallelPortfolio:
         mp_context: str | None = None,
         share_bound: bool = False,
         bound_margin: float = 0.05,
+        reuse_pool: bool | None = None,
     ):
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ValueError(f"workers must be an integer >= 1, got {workers!r}")
@@ -100,6 +105,12 @@ class ParallelPortfolio:
         self._mp_context = mp_context
         self._share_bound = share_bound
         self._margin = bound_margin
+        # share_bound needs the legacy per-call executor: the shared
+        # ctypes value can only reach workers through an initializer.
+        self._reuse_pool = (
+            (warm_pool_enabled() if reuse_pool is None else reuse_pool)
+            and not share_bound
+        )
 
     @property
     def workers(self) -> int:
@@ -129,6 +140,8 @@ class ParallelPortfolio:
             bound = LocalBound(self._margin) if self._share_bound else None
             runner = TaskRunner(spec, bound=bound, context=context)
             outcomes = [runner.run_sa(task) for task in tasks]
+        elif self._reuse_pool:
+            outcomes = get_pool(self._mp_context).run(spec, "sa", tasks, workers=nworkers)
         else:
             outcomes = self._run_pool(spec, tasks)
         return reduce_outcomes(outcomes, direction)
@@ -162,7 +175,12 @@ class ParallelPortfolio:
                 for i in range(nworkers)
                 if candidates[i * step : (i + 1) * step]
             ]
-            outcomes = self._run_scan_pool(spec, tasks)
+            if self._reuse_pool:
+                outcomes = get_pool(self._mp_context).run(
+                    spec, "scan", tasks, workers=nworkers
+                )
+            else:
+                outcomes = self._run_scan_pool(spec, tasks)
         ordered = sorted(outcomes, key=lambda o: o.index)
         registry = telemetry.get_registry()
         for outcome in ordered:
@@ -179,27 +197,39 @@ class ParallelPortfolio:
     def _run_scan_pool(self, spec: SearchSpec, tasks: list[ScanTask]) -> list[ScanOutcome]:
         spec.ensure_picklable()
         ctx = mp.get_context(self._mp_context or default_start_method())
+        max_workers = len(tasks)
         with ProcessPoolExecutor(
-            max_workers=len(tasks),
+            max_workers=max_workers,
             mp_context=ctx,
             initializer=_initialize_worker,
             initargs=(spec, None, 0.0, telemetry.enabled()),
         ) as executor:
-            return list(executor.map(_run_scan_task, tasks))
+            # Explicit chunksize: ship each worker its whole task share
+            # in one IPC round-trip instead of the map() default of one
+            # message per task.  Chunking only changes which process
+            # runs which slice — slice contents (and therefore energies
+            # and best_index) are already fixed, so determinism holds.
+            chunksize = math.ceil(len(tasks) / max_workers)
+            return list(executor.map(_run_scan_task, tasks, chunksize=chunksize))
 
     def _run_pool(self, spec: SearchSpec, tasks: list[SaTask]) -> list[SaOutcome]:
         spec.ensure_picklable()
         ctx = mp.get_context(self._mp_context or default_start_method())
         bound_value = ctx.Value("d", math.inf) if self._share_bound else None
+        max_workers = min(self._workers, len(tasks))
         with ProcessPoolExecutor(
-            max_workers=min(self._workers, len(tasks)),
+            max_workers=max_workers,
             mp_context=ctx,
             initializer=_initialize_worker,
             initargs=(spec, bound_value, self._margin, telemetry.enabled()),
         ) as executor:
             # Executor.map preserves task order regardless of which
             # worker finishes first — half of the determinism story.
-            return list(executor.map(_run_sa_task, tasks))
+            # The explicit chunksize batches each worker's expected task
+            # share into one IPC message; outcomes are a pure function
+            # of the task, so placement cannot change the reduction.
+            chunksize = math.ceil(len(tasks) / max_workers)
+            return list(executor.map(_run_sa_task, tasks, chunksize=chunksize))
 
 
 def reduce_outcomes(outcomes: list[SaOutcome], direction: str) -> PortfolioResult:

@@ -15,6 +15,7 @@ best-of reduction possible).
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field
 
@@ -75,6 +76,42 @@ class SearchSpec:
             use_fast_path=use_fast_path,
             constraint=constraint,
         )
+
+    def fingerprint(self) -> str:
+        """Stable content digest identifying this search problem.
+
+        Two specs share a fingerprint exactly when a worker-side
+        :class:`~repro.search.worker.TaskRunner` built for one is valid
+        for the other — same profile, latency model, node table, pool,
+        energy options, constraint, and *snapshot content*.  The snapshot
+        enters through its own :meth:`SystemSnapshot.fingerprint` rather
+        than its pickle bytes, so a refreshed-but-identical cluster state
+        still keys the same cache entry while any availability change
+        produces a new one.  Memoized (the dataclass is frozen, so the
+        inputs cannot drift after the first call).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.snapshot.fingerprint().encode("ascii"))
+        digest.update(
+            pickle.dumps(
+                (
+                    self.profile,
+                    self.latency_model,
+                    self.nodes,
+                    self.pool,
+                    self.options,
+                    self.use_fast_path,
+                    self.constraint,
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+        value = digest.hexdigest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
 
     def build_evaluator(self) -> MappingEvaluator:
         """A fresh reference evaluator (the worker-side fallback path)."""

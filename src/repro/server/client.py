@@ -2,8 +2,15 @@
 
 ``CbesClient`` is the reference consumer of the daemon's JSON-over-HTTP
 API — used by the ``repro submit`` / ``repro jobs`` CLI commands, the
-tests, and the throughput benchmark.  One short-lived connection per
-request (the daemon closes after each response), stdlib only.
+tests, and the throughput benchmark.  Stdlib only.
+
+The client keeps **one pooled connection** alive across calls (the
+daemon speaks HTTP/1.1 keep-alive), so polling loops like :meth:`wait`
+stop churning sockets.  A reused socket the daemon has since closed
+surfaces as a send-time error or an empty response before any response
+bytes — such a request never reached a handler, so the client retries
+it once, transparently, on a fresh connection.  Fresh-connection
+failures (daemon down, port wrong) are raised immediately.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ class JobFailed(RuntimeError):
 
 
 class CbesClient:
-    """Talks to one scheduling daemon.
+    """Talks to one scheduling daemon over a pooled keep-alive connection.
 
     Parameters
     ----------
@@ -50,50 +57,114 @@ class CbesClient:
         The daemon's bind address.
     timeout_s:
         Socket timeout per request.
+    keep_alive:
+        Reuse one connection across calls (the default).  ``False``
+        restores the historical one-connection-per-request behavior.
+
+    The client is also a context manager; leaving the ``with`` block
+    (or calling :meth:`close`) drops the pooled connection.  Not
+    thread-safe — use one client per thread.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *, timeout_s: float = 30.0):
+    #: Errors that mean a *reused* socket went stale before any response
+    #: bytes arrived (daemon restarted, keep-alive bound or idle timeout
+    #: hit between our calls); the request never reached a handler, so
+    #: one retry on a fresh connection is safe — even for POSTs.
+    _STALE_ERRORS = (
+        http.client.RemoteDisconnected,
+        http.client.CannotSendRequest,
+        BrokenPipeError,
+        ConnectionResetError,
+        ConnectionAbortedError,
+    )
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        timeout_s: float = 30.0,
+        keep_alive: bool = True,
+    ):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.keep_alive = keep_alive
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- connection lifecycle -------------------------------------------
+    def close(self) -> None:
+        """Drop the pooled connection (the next request reconnects)."""
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "CbesClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- transport ------------------------------------------------------
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
-        try:
-            data = json.dumps(body).encode("utf-8") if body is not None else None
-            headers = {"Content-Type": "application/json"} if data else {}
-            conn.request(method, path, body=data, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+    def _roundtrip(
+        self, method: str, path: str, data: bytes | None, headers: dict[str, str]
+    ) -> tuple[int, dict, bytes]:
+        """One HTTP exchange; returns (status, response headers, body).
+
+        Reuses the pooled connection, reconnecting transparently when a
+        reused socket turns out stale (see :attr:`_STALE_ERRORS`).
+        """
+        for _attempt in (0, 1):
+            reused = self._conn is not None
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout_s
+                )
+            conn = self._conn
             try:
-                payload = json.loads(raw) if raw else {}
-            except json.JSONDecodeError:
-                raise ServerError(response.status, "bad-response", raw[:200].decode("latin-1")) from None
-            if response.status >= 400:
-                error = payload.get("error", {})
-                code = error.get("code", "unknown")
-                message = error.get("message", "")
-                if response.status == 429:
-                    retry_after = float(response.headers.get("Retry-After", "1"))
-                    raise BackpressureError(response.status, code, message, retry_after)
-                raise ServerError(response.status, code, message)
-            return payload
-        finally:
-            conn.close()
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except self._STALE_ERRORS:
+                self.close()
+                if not reused:
+                    raise
+                continue  # retry once on a fresh connection
+            except Exception:
+                self.close()
+                raise
+            if response.will_close or not self.keep_alive:
+                self.close()
+            return response.status, dict(response.headers.items()), raw
+        raise ServerError(599, "unreachable", "retry loop exhausted")  # pragma: no cover
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        status, response_headers, raw = self._roundtrip(method, path, data, headers)
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServerError(status, "bad-response", raw[:200].decode("latin-1")) from None
+        if status >= 400:
+            error = payload.get("error", {})
+            code = error.get("code", "unknown")
+            message = error.get("message", "")
+            if status == 429:
+                retry_after = float(response_headers.get("Retry-After", "1"))
+                raise BackpressureError(status, code, message, retry_after)
+            raise ServerError(status, code, message)
+        return payload
 
     def _request_text(self, method: str, path: str) -> str:
         """Fetch a non-JSON (plain text) endpoint body."""
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
-        try:
-            conn.request(method, path)
-            response = conn.getresponse()
-            raw = response.read()
-            if response.status >= 400:
-                raise ServerError(response.status, "error", raw[:200].decode("latin-1"))
-            return raw.decode("utf-8")
-        finally:
-            conn.close()
+        status, _headers, raw = self._roundtrip(method, path, None, {})
+        if status >= 400:
+            raise ServerError(status, "error", raw[:200].decode("latin-1"))
+        return raw.decode("utf-8")
 
     # -- plain endpoints ------------------------------------------------
     def healthz(self) -> dict:
@@ -123,6 +194,18 @@ class CbesClient:
         """Submit a job; returns the queued job document (with ``id``)."""
         return self._request("POST", "/v1/jobs", {"kind": kind, **payload})["job"]
 
+    def submit_batch(self, jobs: list[dict]) -> list[dict]:
+        """Submit N job documents in one request (``POST /v1/jobs:batch``).
+
+        Each entry is a full job document (``{"kind": ..., "app": ...}``,
+        exactly what :meth:`submit` would send).  Acceptance is atomic:
+        either every job is queued (returns their documents, in request
+        order) or none is — 400 on the first invalid entry, 429
+        (:class:`BackpressureError`) when the queue lacks room for the
+        whole batch.
+        """
+        return self._request("POST", "/v1/jobs:batch", {"jobs": jobs})["jobs"]
+
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")["job"]
 
@@ -145,6 +228,46 @@ class CbesClient:
                 raise JobFailed(job)
             if time.monotonic() >= deadline:
                 raise TimeoutError(f"job {job_id} still {state} after {timeout_s:.0f}s")
+            time.sleep(poll_interval_s)
+
+    def wait_many(
+        self,
+        job_ids: list[str],
+        *,
+        timeout_s: float = 300.0,
+        poll_interval_s: float = 0.05,
+    ) -> list[dict]:
+        """Poll until every job in *job_ids* finishes; docs in input order.
+
+        One ``GET /v1/jobs`` listing per sweep (not one request per
+        job), over the pooled connection.  Raises :class:`JobFailed` on
+        the first job observed ``failed`` and ``TimeoutError`` when any
+        job is still pending at the deadline.
+        """
+        deadline = time.monotonic() + timeout_s
+        done: dict[str, dict] = {}
+        wanted = list(job_ids)
+        while True:
+            listed = {job["id"]: job for job in self.jobs()}
+            for job_id in wanted:
+                if job_id in done:
+                    continue
+                # Fall back to a point GET when the listing misses the
+                # job (e.g. evicted from the TTL store mid-wait).
+                job = listed.get(job_id) or self.job(job_id)
+                state = job["state"]
+                if state == "failed":
+                    raise JobFailed(job)
+                if state == "done":
+                    done[job_id] = job
+            if len(done) == len(wanted):
+                return [done[job_id] for job_id in wanted]
+            if time.monotonic() >= deadline:
+                missing = [j for j in wanted if j not in done]
+                raise TimeoutError(
+                    f"{len(missing)} of {len(wanted)} jobs still pending after "
+                    f"{timeout_s:.0f}s (first: {missing[0]})"
+                )
             time.sleep(poll_interval_s)
 
     # -- remapping ------------------------------------------------------

@@ -8,7 +8,10 @@ from external clients over the network.
 Design:
 
 * ``asyncio.start_server`` accepts connections; every request is JSON in
-  and JSON out (see ``docs/SERVICE.md`` for the API).
+  and JSON out (see ``docs/SERVICE.md`` for the API).  Connections are
+  HTTP/1.1 keep-alive: one socket serves up to
+  ``keepalive_max_requests`` requests (idle-bounded), and
+  ``Connection: close`` from the client is honored.
 * Submitted jobs enter a **bounded** queue; when it is full the daemon
   answers HTTP 429 with ``Retry-After`` instead of queueing unboundedly.
 * A small ``ThreadPoolExecutor`` worker pool runs jobs off the event
@@ -52,11 +55,17 @@ from repro.server.protocol import (
     read_request,
     render_response,
 )
+from repro.search.pool import (
+    POOL_SPAWNS_TOTAL,
+    SPEC_RESENDS_TOTAL,
+    WORKER_CACHE_EVENTS_TOTAL,
+)
 from repro.server.serialize import (
     options_from_dict,
     prediction_to_dict,
     schedule_result_to_dict,
     snapshot_to_dict,
+    validate_batch_payload,
     validate_job_payload,
     validate_load_events,
     validate_remap_watch,
@@ -147,6 +156,12 @@ class CbesDaemon:
         snapshots of a static cluster).
     drain_timeout_s:
         How long shutdown waits for queued + in-flight jobs.
+    keepalive_max_requests:
+        Requests served per connection before the daemon closes it
+        (bounds how long one client can monopolize a handler).
+    keepalive_timeout_s:
+        Idle seconds the daemon waits for the next request on a
+        keep-alive connection before closing it; ``None`` waits forever.
     monitor_kwargs:
         When given, the daemon owns the service's monitor lifecycle: a
         failed snapshot refresh stops and restarts monitoring with these
@@ -173,6 +188,8 @@ class CbesDaemon:
         job_ttl_s: float = 600.0,
         refresh_interval_s: float | None = None,
         drain_timeout_s: float = 30.0,
+        keepalive_max_requests: int = 100,
+        keepalive_timeout_s: float | None = 30.0,
         monitor_kwargs: dict | None = None,
         metrics: telemetry.MetricsRegistry | None = None,
         tracer: telemetry.Tracer | None = None,
@@ -184,6 +201,10 @@ class CbesDaemon:
             raise ValueError("queue_limit must be >= 1")
         if refresh_interval_s is not None and refresh_interval_s <= 0:
             raise ValueError("refresh_interval_s must be > 0")
+        if keepalive_max_requests < 1:
+            raise ValueError("keepalive_max_requests must be >= 1")
+        if keepalive_timeout_s is not None and keepalive_timeout_s <= 0:
+            raise ValueError("keepalive_timeout_s must be > 0")
         self._service = service
         self._host = host
         self._port = port
@@ -191,6 +212,8 @@ class CbesDaemon:
         self._queue_limit = queue_limit
         self._refresh_interval = refresh_interval_s
         self._drain_timeout = drain_timeout_s
+        self._keepalive_max = keepalive_max_requests
+        self._keepalive_timeout = keepalive_timeout_s
         self._monitor_kwargs = dict(monitor_kwargs) if monitor_kwargs else None
 
         self._metrics = metrics if metrics is not None else telemetry.MetricsRegistry()
@@ -213,6 +236,13 @@ class CbesDaemon:
         #: from the *current* snapshot generation.
         self._contexts: dict[tuple[str, EvaluationOptions], EvaluationContext] = {}
         self._ctx_lock = threading.Lock()
+        #: Serializes context *builds* so N batch jobs arriving together
+        #: share one build per (app, options) instead of racing N.
+        self._ctx_build_lock = threading.Lock()
+        #: Open client connections -> whether a request is mid-dispatch
+        #: (idle ones are closed outright on stop; busy ones close
+        #: themselves after their in-flight response).
+        self._conn_busy: dict[asyncio.StreamWriter, bool] = {}
         self._watches: dict[str, RemapWatch] = {}
         self._watch_seq = 0
         #: Remap decision documents, oldest first, capped at MAX_DECISIONS.
@@ -274,6 +304,32 @@ class CbesDaemon:
         self._m_refreshes = m.counter(
             "cbes_snapshot_refreshes_total", "Snapshot generations adopted."
         )
+        self._m_connections = m.counter(
+            "cbes_connections_total", "Client TCP connections accepted."
+        )
+        self._m_keepalive_reqs = m.counter(
+            "cbes_keepalive_requests_total",
+            "Requests served on an already-open (reused) connection.",
+        )
+        self._m_batches = m.counter(
+            "cbes_batch_submissions_total", "Accepted POST /v1/jobs:batch requests."
+        )
+        self._m_ctx_cache = m.counter(
+            "cbes_context_cache_events_total",
+            "Daemon-side evaluation-context cache events.",
+            ("event",),
+        )
+        m.gauge(
+            "cbes_open_connections",
+            "Client connections currently open.",
+            callback=lambda: len(self._conn_busy),
+        )
+        # Warm-pool families are incremented by repro.search.pool through
+        # the ambient registry; declaring them here (same name/help)
+        # makes them visible at /v1/metrics from the first scrape.
+        m.counter(*WORKER_CACHE_EVENTS_TOTAL)
+        m.counter(*POOL_SPAWNS_TOTAL)
+        m.counter(*SPEC_RESENDS_TOTAL)
         # Remap families are incremented by repro.remap through the
         # ambient registry; declaring them here (same name/help) makes
         # them visible at /v1/metrics from the first scrape.
@@ -371,6 +427,13 @@ class CbesDaemon:
             return
         self._draining = True
         self._server.close()
+        # Idle keep-alive connections would otherwise pin wait_closed()
+        # (which waits for connection handlers on Python >= 3.12.1)
+        # until their idle timeout; busy handlers notice _draining and
+        # close themselves right after the in-flight response.
+        for conn_writer, busy in list(self._conn_busy.items()):
+            if not busy:
+                conn_writer.close()
         await self._server.wait_closed()
         assert self._queue is not None
         if drain:
@@ -446,6 +509,8 @@ class CbesDaemon:
             ]
             for key in stale:
                 del self._contexts[key]
+        if stale:
+            self._m_ctx_cache.inc(len(stale), event="evicted")
         self._snapshot_adopted_at = time.monotonic()
         self._snapshot_refreshes += 1
         self._m_refreshes.inc()
@@ -512,20 +577,36 @@ class CbesDaemon:
             )
 
     def _context_for(self, app: str, options: EvaluationOptions, snapshot, evaluator) -> None:
-        """Install the cached fast-eval context (or cache a fresh one)."""
+        """Install the cached fast-eval context (or cache a fresh one).
+
+        Builds are serialized behind ``_ctx_build_lock`` with a
+        double-check, so a batch of N jobs for one application arriving
+        together performs one context build and N-1 cache hits instead
+        of N racing builds.
+        """
         key = (app, options)
         fingerprint = snapshot.fingerprint()
         with self._ctx_lock:
             context = self._contexts.get(key)
         if context is not None and context.snapshot_fingerprint == fingerprint:
+            self._m_ctx_cache.inc(event="hit")
             evaluator.install_context(context)
             return
-        try:
-            context = evaluator.fast_context(options)
-        except FastEvalUnavailable:
-            return
-        with self._ctx_lock:
-            self._contexts[key] = context
+        with self._ctx_build_lock:
+            # Re-check: another worker may have built it while we waited.
+            with self._ctx_lock:
+                context = self._contexts.get(key)
+            if context is not None and context.snapshot_fingerprint == fingerprint:
+                self._m_ctx_cache.inc(event="hit")
+                evaluator.install_context(context)
+                return
+            self._m_ctx_cache.inc(event="miss")
+            try:
+                context = evaluator.fast_context(options)
+            except FastEvalUnavailable:
+                return
+            with self._ctx_lock:
+                self._contexts[key] = context
 
     def _execute(self, job: Job) -> dict:
         """Run one job on a worker thread; returns the JSON result doc."""
@@ -565,48 +646,92 @@ class CbesDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        request_id = uuid.uuid4().hex[:8]
-        started = time.perf_counter()
-        method, path = "-", "-"
-        status: int | None = None
+        """Serve requests off one connection until it is done.
+
+        HTTP/1.1 keep-alive: the loop keeps serving requests on the same
+        socket until the client sends ``Connection: close`` (or hangs
+        up), ``keepalive_max_requests`` is reached, the idle timeout
+        expires between requests, the daemon starts draining, or an
+        error leaves the stream in an unknowable state (parse failures
+        desynchronize framing; 500s are closed defensively).
+        """
+        self._m_connections.inc()
+        self._conn_busy[writer] = False
+        served = 0
         try:
-            try:
+            while True:
+                request_id = uuid.uuid4().hex[:8]
+                method, path = "-", "-"
+                status: int | None = None
+                keep_alive = False
+                started = time.perf_counter()
                 try:
-                    request = await read_request(reader)
-                    if request is None:
-                        return  # clean EOF on an idle connection: nothing served
-                    method, path = request.method, request.path
-                    status, payload, headers = self._dispatch(request, request_id)
-                except ApiError as exc:
-                    status, payload, headers = exc.status, exc.to_payload(), exc.headers
-                except Exception:  # noqa: BLE001 - never leak a traceback to the wire
-                    log.exception("unhandled error serving %s %s", method, path)
-                    status = 500
-                    payload = {"error": {"code": "internal", "message": "internal server error"}}
-                    headers = {}
-                headers["X-Request-Id"] = request_id
-                writer.write(render_response(status, payload, headers=headers))
-                await writer.drain()
-            finally:
-                # Accounting runs on EVERY served response — 429
-                # backpressure, errors, clients that reset mid-write —
-                # so latency and the per-route counters never undercount.
-                if status is not None:
-                    elapsed = time.perf_counter() - started
-                    route = self._route_of(path)
-                    self._m_requests.inc(method=method, route=route, status=status)
-                    self._m_request_seconds.observe(elapsed, route=route)
-                    access_log.info(
-                        "req=%s %s %s -> %d (%.1f ms)",
-                        request_id,
-                        method,
-                        path,
-                        status,
-                        elapsed * 1e3,
+                    try:
+                        request = await asyncio.wait_for(
+                            read_request(reader), self._keepalive_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        break  # idle keep-alive connection: reap it
+                    except ApiError as exc:
+                        # Parse-level failure: the stream may be
+                        # desynchronized, so answer and close.
+                        status, payload, headers = exc.status, exc.to_payload(), exc.headers
+                    else:
+                        if request is None:
+                            break  # clean EOF between requests
+                        self._conn_busy[writer] = True
+                        served += 1
+                        if served > 1:
+                            self._m_keepalive_reqs.inc()
+                        started = time.perf_counter()
+                        method, path = request.method, request.path
+                        try:
+                            status, payload, headers = self._dispatch(request, request_id)
+                        except ApiError as exc:
+                            status, payload, headers = exc.status, exc.to_payload(), exc.headers
+                        except Exception:  # noqa: BLE001 - never leak a traceback
+                            log.exception("unhandled error serving %s %s", method, path)
+                            status = 500
+                            payload = {
+                                "error": {"code": "internal", "message": "internal server error"}
+                            }
+                            headers = {}
+                        keep_alive = (
+                            status < 500
+                            and served < self._keepalive_max
+                            and not self._draining
+                            and request.headers.get("connection", "").lower() != "close"
+                        )
+                    headers["X-Request-Id"] = request_id
+                    writer.write(
+                        render_response(status, payload, headers=headers, close=not keep_alive)
                     )
+                    await writer.drain()
+                finally:
+                    # Accounting runs on EVERY served response — 429
+                    # backpressure, errors, clients that reset mid-write —
+                    # so latency and the per-route counters never
+                    # undercount.
+                    if status is not None:
+                        elapsed = time.perf_counter() - started
+                        route = self._route_of(path)
+                        self._m_requests.inc(method=method, route=route, status=status)
+                        self._m_request_seconds.observe(elapsed, route=route)
+                        access_log.info(
+                            "req=%s %s %s -> %d (%.1f ms)",
+                            request_id,
+                            method,
+                            path,
+                            status,
+                            elapsed * 1e3,
+                        )
+                    self._conn_busy[writer] = False
+                if not keep_alive:
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-response
         finally:
+            self._conn_busy.pop(writer, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -617,6 +742,7 @@ class CbesDaemon:
     #: one bucket so a client cannot mint unbounded label cardinality.
     _ROUTES = (
         "/v1/jobs",
+        "/v1/jobs:batch",
         "/v1/healthz",
         "/v1/snapshot",
         "/v1/profiles",
@@ -650,6 +776,10 @@ class CbesDaemon:
                 return self._submit(request, request_id)
             if method == "GET":
                 return 200, {"jobs": [job.to_dict() for job in self._store.list()]}, {}
+            raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
+        if path == "/v1/jobs:batch":
+            if method == "POST":
+                return self._submit_batch(request, request_id)
             raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
         if path.startswith("/v1/jobs/"):
             if method != "GET":
@@ -726,6 +856,46 @@ class CbesDaemon:
         self._store.evict_expired()
         log.info("job %s (%s app=%s req=%s) queued", job.id, kind, payload["app"], request_id)
         return 202, {"job": job.to_dict()}, {}
+
+    def _submit_batch(self, request: HttpRequest, request_id: str) -> tuple[int, dict, dict]:
+        """``POST /v1/jobs:batch``: N scenarios in one request, atomically.
+
+        All-or-nothing at both stages: every entry must validate (else
+        400 naming the bad index, nothing queued) and the queue must
+        have room for the *whole* batch (else 429, nothing queued).
+        Runs on the event loop with no awaits between the capacity check
+        and the enqueues, so concurrent submits cannot interleave into a
+        partially accepted batch.  Jobs for one application then share
+        one evaluation-context build (see :meth:`_context_for`).
+        """
+        if self._draining:
+            raise ApiError(503, "shutting-down", "daemon is draining; submit elsewhere")
+        validated = validate_batch_payload(self._service, request.json())
+        assert self._queue is not None
+        free = self._queue_limit - self._queue.qsize()
+        if len(validated) > free:
+            raise ApiError(
+                429,
+                "queue-full",
+                f"batch of {len(validated)} jobs exceeds free queue capacity "
+                f"({free} of {self._queue_limit}); retry later or split the batch",
+                headers={"Retry-After": "1"},
+            )
+        jobs = [
+            self._store.create(kind, payload, request_id=request_id)
+            for kind, payload in validated
+        ]
+        for job in jobs:
+            self._queue.put_nowait(job)
+        self._m_batches.inc()
+        self._store.evict_expired()
+        log.info(
+            "batch req=%s queued %d job(s): %s",
+            request_id,
+            len(jobs),
+            " ".join(job.id for job in jobs),
+        )
+        return 202, {"jobs": [job.to_dict() for job in jobs], "count": len(jobs)}, {}
 
     # -- remap watches ---------------------------------------------------
     def _create_watch(self, request: HttpRequest) -> tuple[int, dict, dict]:

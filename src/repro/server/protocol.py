@@ -1,7 +1,9 @@
 """Minimal JSON-over-HTTP/1.1 framing for the scheduling daemon.
 
-The daemon speaks just enough HTTP for its fixed API surface: one
-request per connection, ``GET``/``POST``, JSON bodies both ways.  Kept
+The daemon speaks just enough HTTP for its fixed API surface:
+``GET``/``POST`` with JSON bodies both ways, and HTTP/1.1 keep-alive
+(the daemon's request loop serves multiple requests per connection;
+``render_response(close=True)`` opts any response out).  Kept
 stdlib-only and asyncio-stream based so the service has no dependencies
 beyond what the library already requires.
 """
@@ -137,12 +139,20 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
 
 
 def render_response(
-    status: int, payload: dict | RawResponse, *, headers: dict[str, str] | None = None
+    status: int,
+    payload: dict | RawResponse,
+    *,
+    headers: dict[str, str] | None = None,
+    close: bool = True,
 ) -> bytes:
-    """Serialize a response (connection-close semantics).
+    """Serialize a response.
 
     *payload* is normally a JSON-ready dict; a :class:`RawResponse`
-    ships its bytes verbatim under its own content type.
+    ships its bytes verbatim under its own content type.  ``close``
+    picks the connection semantics: the default advertises
+    ``Connection: close`` (one request per connection, the historical
+    behavior); ``close=False`` advertises ``keep-alive`` so the daemon's
+    request loop can serve further requests on the same socket.
     """
     if isinstance(payload, RawResponse):
         body = payload.body
@@ -155,7 +165,7 @@ def render_response(
         f"HTTP/1.1 {status} {reason}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        f"Connection: {'close' if close else 'keep-alive'}",
     ]
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")

@@ -19,10 +19,12 @@ from repro.server.protocol import ApiError
 
 __all__ = [
     "JOB_KINDS",
+    "MAX_BATCH_JOBS",
     "options_from_dict",
     "prediction_to_dict",
     "schedule_result_to_dict",
     "snapshot_to_dict",
+    "validate_batch_payload",
     "validate_job_payload",
     "validate_load_events",
     "validate_remap_watch",
@@ -200,6 +202,44 @@ def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
             checked.append(nodes)
         payload.update(mappings=checked)
     return kind, payload
+
+
+#: Upper bound on jobs per ``POST /v1/jobs:batch`` request; a client
+#: wanting more splits into multiple batches (each is atomic on its own).
+MAX_BATCH_JOBS = 256
+
+
+def validate_batch_payload(service, doc: dict) -> list[tuple[str, dict]]:
+    """Validate a ``POST /v1/jobs:batch`` body: ``{"jobs": [job, ...]}``.
+
+    All-or-nothing: every entry must validate (each is a full
+    ``POST /v1/jobs`` document) or the whole batch is rejected with a
+    400 whose message names the offending index as ``jobs[i]``.
+    Returns the ``(kind, normalized payload)`` pairs in request order.
+    """
+    unknown = set(doc) - {"jobs"}
+    if unknown:
+        raise ApiError(400, "bad-request", f"unknown payload field(s) {sorted(unknown)}")
+    entries = doc.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise ApiError(
+            400, "bad-request", "payload field 'jobs' must be a non-empty list of job documents"
+        )
+    if len(entries) > MAX_BATCH_JOBS:
+        raise ApiError(
+            400,
+            "bad-request",
+            f"batch of {len(entries)} jobs exceeds the limit of {MAX_BATCH_JOBS}",
+        )
+    validated: list[tuple[str, dict]] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ApiError(400, "bad-request", f"jobs[{i}]: must be a JSON object")
+        try:
+            validated.append(validate_job_payload(service, entry))
+        except ApiError as exc:
+            raise ApiError(exc.status, exc.code, f"jobs[{i}]: {exc.message}") from None
+    return validated
 
 
 def _number(

@@ -1,0 +1,204 @@
+"""Tests for the service fast path: keep-alive connections and batch jobs.
+
+Covers the daemon side (HTTP/1.1 keep-alive request loop with its
+request-count bound and idle timeout, ``POST /v1/jobs:batch`` with
+atomic accept/reject) and the client side (pooled connection, transparent
+reconnect after the server drops an idle socket).
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.cluster import single_switch
+from repro.core import CBES
+from repro.server import BackpressureError, DaemonThread, ServerError
+from repro.workloads import SyntheticBenchmark
+
+
+def make_service() -> tuple[CBES, str]:
+    service = CBES(single_switch("mini", 6))
+    service.calibrate(seed=2)
+    app = SyntheticBenchmark(comm_fraction=0.2, duration_s=2.0, steps=4)
+    service.profile_application(app, 3, seed=1)
+    return service, app.name
+
+
+@pytest.fixture(scope="module")
+def service_and_app():
+    return make_service()
+
+
+def metric_value(client, name: str, labels: str = "") -> float:
+    """Read one sample off the Prometheus text exposition."""
+    needle = f"{name}{labels} " if labels else f"{name} "
+    for line in client.metrics_text().splitlines():
+        if line.startswith(needle):
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0
+
+
+def raw_exchange(sock: socket.socket, request: bytes) -> bytes:
+    """One request on an already-open socket; reads headers + body."""
+    sock.sendall(request)
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, body = data.split(b"\r\n\r\n", 1)
+    length = 0
+    for line in head.decode("latin-1").split("\r\n"):
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1])
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    return head + b"\r\n\r\n" + body
+
+
+class TestKeepAlive:
+    def test_one_connection_serves_many_requests(self, service_and_app):
+        service, _ = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=4) as srv:
+            client = srv.client()
+            for _ in range(5):
+                assert client.healthz()["status"] == "ok"
+            # 5 requests, 1 TCP connection, 4 of them keep-alive reuses
+            # (the metrics scrape itself rides the same connection).
+            assert metric_value(client, "cbes_connections_total") == 1.0
+            assert metric_value(client, "cbes_keepalive_requests_total") >= 4.0
+
+    def test_connection_close_header_honored(self, service_and_app):
+        service, _ = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=4) as srv:
+            with socket.create_connection(("127.0.0.1", srv.port), timeout=10) as sock:
+                reply = raw_exchange(
+                    sock,
+                    b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+                )
+                assert b"200 OK" in reply
+                assert b"Connection: close" in reply
+                sock.settimeout(5)
+                assert sock.recv(1) == b""  # server closed after responding
+
+    def test_keepalive_responses_advertise_keepalive(self, service_and_app):
+        service, _ = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=4) as srv:
+            with socket.create_connection(("127.0.0.1", srv.port), timeout=10) as sock:
+                request = b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+                first = raw_exchange(sock, request)
+                second = raw_exchange(sock, request)
+                assert b"Connection: keep-alive" in first
+                assert b"200 OK" in second  # same socket, second answer
+
+    def test_max_requests_per_connection(self, service_and_app):
+        service, _ = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=4, keepalive_max_requests=2) as srv:
+            with socket.create_connection(("127.0.0.1", srv.port), timeout=10) as sock:
+                request = b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+                first = raw_exchange(sock, request)
+                second = raw_exchange(sock, request)
+                assert b"Connection: keep-alive" in first
+                assert b"Connection: close" in second  # bound reached
+                sock.settimeout(5)
+                assert sock.recv(1) == b""
+            # The pooled client rides through the bound transparently.
+            client = srv.client()
+            for _ in range(5):
+                assert client.healthz()["status"] == "ok"
+
+    def test_client_reconnects_after_idle_drop(self, service_and_app):
+        """Satellite: stale pooled sockets retry once, transparently."""
+        service, _ = service_and_app
+        with DaemonThread(
+            service, workers=1, queue_limit=4, keepalive_timeout_s=0.2
+        ) as srv:
+            client = srv.client()
+            assert client.healthz()["status"] == "ok"
+            time.sleep(0.6)  # idle timeout reaps the server side
+            assert client.healthz()["status"] == "ok"  # transparent retry
+
+    def test_client_keep_alive_off_uses_fresh_connections(self, service_and_app):
+        service, _ = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=4) as srv:
+            client = srv.client()
+            client.keep_alive = False
+            for _ in range(3):
+                assert client.healthz()["status"] == "ok"
+            assert metric_value(client, "cbes_connections_total") >= 3.0
+
+
+class TestBatchSubmission:
+    def test_batch_matches_serial(self, service_and_app):
+        service, app_name = service_and_app
+        nodes = service.cluster.node_ids()
+        docs = [
+            {"kind": "predict", "app": app_name, "nodes": [nodes[i], nodes[i + 1], nodes[i + 2]]}
+            for i in range(3)
+        ]
+        with DaemonThread(service, workers=2, queue_limit=16) as srv:
+            client = srv.client()
+            serial_ids = [client.submit(**doc)["id"] for doc in docs]
+            serial = client.wait_many(serial_ids, timeout_s=60.0)
+
+            batch_jobs = client.submit_batch(docs)
+            assert len(batch_jobs) == 3
+            assert len({job["id"] for job in batch_jobs}) == 3  # per-job ids
+            assert all(job["state"] == "queued" for job in batch_jobs)
+            batch = client.wait_many([job["id"] for job in batch_jobs], timeout_s=60.0)
+
+            for a, b in zip(serial, batch, strict=True):
+                assert a["result"]["execution_time"] == b["result"]["execution_time"]
+            assert metric_value(client, "cbes_batch_submissions_total") == 1.0
+
+    def test_invalid_entry_rejects_whole_batch(self, service_and_app):
+        service, app_name = service_and_app
+        nodes = service.cluster.node_ids()[:3]
+        with DaemonThread(service, workers=1, queue_limit=8) as srv:
+            client = srv.client()
+            with pytest.raises(ServerError) as excinfo:
+                client.submit_batch(
+                    [
+                        {"kind": "predict", "app": app_name, "nodes": nodes},
+                        {"kind": "predict", "app": "no-such-app", "nodes": nodes},
+                    ]
+                )
+            assert excinfo.value.status == 400
+            assert "jobs[1]" in str(excinfo.value)
+            assert client.jobs() == []  # atomic: nothing was queued
+
+    def test_batch_over_capacity_queues_nothing(self, service_and_app):
+        service, app_name = service_and_app
+        nodes = service.cluster.node_ids()
+        docs = [
+            {"kind": "predict", "app": app_name, "nodes": [nodes[i], nodes[i + 1], nodes[i + 2]]}
+            for i in range(4)
+        ]
+        release_batch = [
+            {"kind": "predict", "app": app_name, "nodes": nodes[:3]},
+        ]
+        with DaemonThread(service, workers=1, queue_limit=2) as srv:
+            client = srv.client()
+            with pytest.raises(BackpressureError) as excinfo:
+                client.submit_batch(docs)
+            assert excinfo.value.retry_after_s > 0
+            assert client.jobs() == []  # all-or-nothing
+            # A batch that fits still goes through afterwards.
+            jobs = client.submit_batch(release_batch)
+            assert client.wait(jobs[0]["id"], timeout_s=60.0)["state"] == "done"
+
+    def test_empty_and_malformed_batches(self, service_and_app):
+        service, _ = service_and_app
+        with DaemonThread(service, workers=1, queue_limit=4) as srv:
+            client = srv.client()
+            with pytest.raises(ServerError) as excinfo:
+                client.submit_batch([])
+            assert excinfo.value.status == 400
+            with pytest.raises(ServerError) as excinfo:
+                client._request("POST", "/v1/jobs:batch", {"jobs": [1, 2]})
+            assert "jobs[0]" in str(excinfo.value)
