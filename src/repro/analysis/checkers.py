@@ -167,7 +167,7 @@ class DeterminismChecker(Checker):
     rule = "RPR101"
     name = "determinism"
     rationale = "S_M must evaluate identically every run (paper eqs. 5-8)"
-    scopes = ("repro.schedulers", "repro.search", "repro.core", "repro.remap")
+    scopes = ("repro.schedulers", "repro.search", "repro.core", "repro.remap", "repro.fleet")
 
     #: Calls that consult wall clocks or OS entropy.
     BANNED_CALLS = {
@@ -312,7 +312,7 @@ class AsyncSafetyChecker(Checker):
     rule = "RPR103"
     name = "async-safety"
     rationale = "one blocked event loop stalls every daemon client"
-    scopes = ("repro.server",)
+    scopes = ("repro.server", "repro.fleet")
 
     BLOCKING_CALLS = {
         "time.sleep": "await asyncio.sleep(...) instead",

@@ -266,12 +266,53 @@ def cmd_serve(args) -> int:
         job_ttl_s=args.job_ttl,
         refresh_interval_s=args.refresh_interval if args.refresh_interval > 0 else None,
         monitor_kwargs=monitor_kwargs,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        replica_id=args.replica_id,
+        max_body_bytes=args.max_body_bytes,
     )
 
     async def _serve() -> int:
         host, port = await daemon.start()
         print(f"serving on http://{host}:{port}", flush=True)
         await daemon.serve_forever()
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def cmd_fleet(args) -> int:
+    configure_logging(args.log_level)
+    from repro.fleet import FleetRouter, FleetSupervisor
+
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+        supervisor = None
+    elif args.replicas >= 1:
+        supervisor = FleetSupervisor(
+            replicas=args.replicas,
+            db=args.db,
+            cluster=args.cluster,
+            seed=args.seed,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            data_root=args.data_root,
+            fsync=args.fsync,
+            log_level=args.log_level,
+        )
+        backends = supervisor.start()
+    else:
+        raise SystemExit("error: give --replicas N or --backends host:port,...")
+    router = FleetRouter(backends, host=args.host, port=args.port)
+
+    async def _serve() -> int:
+        host, port = await router.start()
+        print(f"fleet router on http://{host}:{port} ({len(backends)} replica(s))", flush=True)
+        try:
+            await router.serve_forever()
+        finally:
+            if supervisor is not None:
+                supervisor.stop()
         return 0
 
     return asyncio.run(_serve())
@@ -346,7 +387,7 @@ def cmd_jobs(args) -> int:
             f"daemon {health['status']}: uptime {health['uptime_s']:.0f}s, "
             f"queue {health['queue_depth']}/{health['queue_limit']}, jobs {health['jobs']}"
         )
-        for job in client.jobs():
+        for job in client.jobs(state=args.state, limit=args.limit, after=args.after):
             line = f"  {job['id']}  {job['kind']:<9} {job['state']:<8}"
             if job["state"] == "done" and "result" in job:
                 time_key = "predicted_time" if "predicted_time" in job["result"] else "execution_time"
@@ -574,7 +615,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--forecaster", default="last-value", help="monitor forecaster kind")
     p.add_argument("--log-level", default="info", help="repro.server log level")
+    p.add_argument(
+        "--data-dir",
+        default=None,
+        help="journal job state to this directory (crash-recoverable; default in-memory)",
+    )
+    p.add_argument(
+        "--fsync",
+        default="interval",
+        choices=["always", "interval", "never"],
+        help="journal fsync policy (with --data-dir)",
+    )
+    p.add_argument(
+        "--replica-id", default="", help="identity reported in /v1/healthz (fleet replicas)"
+    )
+    p.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="largest accepted request body (413 beyond it)",
+    )
     p.set_defaults(func=cmd_serve, monitor=True)
+
+    p = sub.add_parser("fleet", help="run a sharded multi-daemon router")
+    p.add_argument("--host", default="127.0.0.1", help="router bind address")
+    p.add_argument("--port", type=int, default=8080, help="router port")
+    p.add_argument(
+        "--replicas", type=int, default=0, help="spawn N `repro serve` replica subprocesses"
+    )
+    p.add_argument(
+        "--backends",
+        default=None,
+        help="route to these already-running daemons (comma-separated host:port)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="job worker threads per replica")
+    p.add_argument(
+        "--queue-limit", type=int, default=16, help="max queued jobs per replica before 429"
+    )
+    p.add_argument(
+        "--data-root",
+        default=None,
+        help="per-replica journal directories under this root (crash-recoverable replicas)",
+    )
+    p.add_argument(
+        "--fsync",
+        default="interval",
+        choices=["always", "interval", "never"],
+        help="replica journal fsync policy (with --data-root)",
+    )
+    p.add_argument("--log-level", default="info", help="repro.fleet log level")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("submit", help="submit a job to a running daemon")
     add_endpoint_args(p)
@@ -612,6 +702,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("jobs", help="list a running daemon's jobs")
     add_endpoint_args(p)
     p.add_argument("job_id", nargs="?", default=None, help="show one job as JSON")
+    p.add_argument(
+        "--state",
+        default=None,
+        choices=["queued", "running", "done", "failed"],
+        help="list only jobs in this state",
+    )
+    p.add_argument("--limit", type=int, default=None, help="page size")
+    p.add_argument("--after", default=None, help="list jobs submitted after this job id")
     p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("remap", help="drive a running daemon's online-remapping loop")

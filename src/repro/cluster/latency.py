@@ -114,6 +114,25 @@ class LatencyModel:
             hosts.add(dst)
         self._hosts = frozenset(hosts)
 
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Canonical (sorted) state so pickle bytes are content-stable.
+
+        ``_hosts`` is a frozenset and ``_components`` a dict; both
+        iterate in insertion/hash order, which survives neither a pickle
+        round-trip nor hash randomization.  ``SearchSpec.fingerprint``
+        hashes this object's pickle bytes to key worker-side caches, so
+        the serialized form must depend only on *content*.
+        """
+        return {
+            "_components": dict(sorted(self._components.items())),
+            "_hosts": sorted(self._hosts),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._components = state["_components"]
+        self._hosts = frozenset(state["_hosts"])
+
     # -- construction --------------------------------------------------
     @classmethod
     def from_fabric(cls, fabric: NetworkFabric, nodes: Mapping[str, Node]) -> "LatencyModel":

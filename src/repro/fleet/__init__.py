@@ -1,0 +1,22 @@
+"""repro.fleet — shared-nothing scale-out for the CBES service.
+
+One :class:`FleetRouter` fronts N independent
+:class:`~repro.server.daemon.CbesDaemon` replicas.  Placement is
+rendezvous hashing over the job id (:mod:`repro.fleet.hashing`), so the
+router holds no routing table; :class:`FleetSupervisor` boots the
+replicas as subprocesses for ``repro fleet --replicas N``.  See
+``docs/FLEET.md`` for the architecture and failure semantics.
+"""
+
+from repro.fleet.hashing import pick_backend, rendezvous_rank, score
+from repro.fleet.router import FleetRouter, RouterThread
+from repro.fleet.supervisor import FleetSupervisor
+
+__all__ = [
+    "FleetRouter",
+    "FleetSupervisor",
+    "RouterThread",
+    "pick_backend",
+    "rendezvous_rank",
+    "score",
+]

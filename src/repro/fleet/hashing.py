@@ -1,0 +1,49 @@
+"""Rendezvous (highest-random-weight) hashing for job routing.
+
+The fleet router owns no job table: where a job lives is a pure
+function of its id and the *set* of replica names.  Rendezvous hashing
+gives that function two properties consistent hashing rings need extra
+machinery for:
+
+* **Stability under permutation** — scoring is per ``(key, backend)``
+  pair, so the preference order depends only on set membership, never
+  on the order backends were configured;
+* **Minimal disruption** — removing a replica only re-routes the keys
+  that ranked it first; every other key keeps its owner.
+
+Scores come from ``blake2b`` (stdlib, keyed by nothing, stable across
+processes and Python versions — unlike ``hash()``, which is salted per
+process).  Ties — astronomically unlikely with 64-bit digests, but the
+tie-break must still be total — fall back to the backend name, so the
+ranking is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+__all__ = ["rendezvous_rank", "pick_backend", "score"]
+
+
+def score(key: str, backend: str) -> int:
+    """The 64-bit rendezvous weight of *key* on *backend*."""
+    digest = hashlib.blake2b(f"{key}|{backend}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_rank(key: str, backends: Sequence[str]) -> list[str]:
+    """All backends ordered by preference for *key* (best first).
+
+    The full preference order, not just the winner: lookups walk it so
+    a job submitted while its first-choice replica was unhealthy is
+    still found on the second choice.
+    """
+    if not backends:
+        raise ValueError("rendezvous_rank requires at least one backend")
+    return sorted(set(backends), key=lambda b: (-score(key, b), b))
+
+
+def pick_backend(key: str, backends: Sequence[str]) -> str:
+    """The highest-weight backend for *key*."""
+    return rendezvous_rank(key, backends)[0]

@@ -1,0 +1,181 @@
+"""Spawn and reap `repro serve` replica subprocesses.
+
+``repro fleet --replicas N`` uses this to boot a self-contained fleet:
+N daemon subprocesses on ephemeral ports (each its own process — own
+GIL, own job store, own simulated cluster), discovered by parsing the
+``serving on http://host:port`` banner each daemon prints on stdout.
+With ``data_root`` set, replica *i* journals under
+``data_root/r{i}``, so a restarted fleet recovers every replica's jobs.
+
+The supervisor is deliberately synchronous (it runs before the router's
+event loop starts) and stdlib-only.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+__all__ = ["FleetSupervisor"]
+
+log = logging.getLogger("repro.fleet.supervisor")
+
+_BANNER = re.compile(r"serving on http://([0-9.]+):(\d+)")
+
+
+class FleetSupervisor:
+    """Owns the lifecycle of N `repro serve` replica subprocesses.
+
+    Parameters mirror the ``repro serve`` flags each replica receives.
+    Every replica gets the *same* seed: transparent scale-out means a
+    job must produce the identical result no matter which replica it
+    hashes to, so the replicas' simulated clusters and monitors must be
+    indistinguishable.  (The ``schedule:best`` race varies *job* seeds,
+    which is a different knob.)
+    """
+
+    def __init__(
+        self,
+        *,
+        replicas: int,
+        db: str = ".cbes-db",
+        cluster: str = "orange-grove",
+        seed: int = 0,
+        workers: int = 2,
+        queue_limit: int = 16,
+        data_root: str | None = None,
+        fsync: str = "interval",
+        log_level: str = "info",
+        startup_timeout_s: float = 60.0,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self._replicas = replicas
+        self._db = db
+        self._cluster = cluster
+        self._seed = seed
+        self._workers = workers
+        self._queue_limit = queue_limit
+        self._data_root = data_root
+        self._fsync = fsync
+        self._log_level = log_level
+        self._startup_timeout = startup_timeout_s
+        self._procs: list[subprocess.Popen] = []
+        self.backends: list[str] = []
+
+    def _command(self, index: int) -> list[str]:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "--db",
+            self._db,
+            "--cluster",
+            self._cluster,
+            "--seed",
+            str(self._seed),
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--workers",
+            str(self._workers),
+            "--queue-limit",
+            str(self._queue_limit),
+            "--replica-id",
+            f"r{index}",
+            "--log-level",
+            self._log_level,
+        ]
+        if self._data_root is not None:
+            cmd += [
+                "--data-dir",
+                os.path.join(self._data_root, f"r{index}"),
+                "--fsync",
+                self._fsync,
+            ]
+        return cmd
+
+    def start(self) -> list[str]:
+        """Boot every replica; returns their ``host:port`` addresses.
+
+        Blocks until each replica prints its banner (it has bound its
+        port and recovered its journal by then).  Any replica dying
+        before the banner aborts the whole start.
+        """
+        if self._procs:
+            raise RuntimeError("supervisor already started")
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        try:
+            for index in range(self._replicas):
+                proc = subprocess.Popen(
+                    self._command(index),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                    env=env,
+                )
+                self._procs.append(proc)
+                self.backends.append(self._await_banner(proc, index))
+                log.info("replica r%d serving on %s (pid %d)", index, self.backends[-1], proc.pid)
+        except Exception:
+            self.stop()
+            raise
+        return list(self.backends)
+
+    def _await_banner(self, proc: subprocess.Popen, index: int) -> str:
+        assert proc.stdout is not None
+        deadline = time.monotonic() + self._startup_timeout
+        while True:
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"replica r{index} did not start within the startup timeout")
+            line = proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"replica r{index} exited before serving (code {proc.poll()})"
+                )
+            match = _BANNER.search(line)
+            if match:
+                return f"{match.group(1)}:{match.group(2)}"
+
+    def poll(self) -> list[int | None]:
+        """Exit codes of the replicas (``None`` while still running)."""
+        return [proc.poll() for proc in self._procs]
+
+    def kill_replica(self, index: int, *, sig: int = signal.SIGKILL) -> None:
+        """Send *sig* to replica *index* (test/chaos hook)."""
+        self._procs[index].send_signal(sig)
+
+    def stop(self, *, timeout_s: float = 10.0) -> None:
+        """Terminate every replica (SIGTERM, then SIGKILL past the grace)."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + timeout_s
+        for proc in self._procs:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+        self._procs.clear()
+
+    def __enter__(self) -> "FleetSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

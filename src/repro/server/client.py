@@ -18,6 +18,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
+from urllib.parse import quote
 
 __all__ = ["ServerError", "BackpressureError", "JobFailed", "CbesClient"]
 
@@ -209,8 +210,28 @@ class CbesClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")["job"]
 
-    def jobs(self) -> list[dict]:
-        return self._request("GET", "/v1/jobs")["jobs"]
+    def jobs(
+        self,
+        *,
+        state: str | None = None,
+        limit: int | None = None,
+        after: str | None = None,
+    ) -> list[dict]:
+        """List jobs, optionally filtered by *state* and paged.
+
+        *after* is a cursor: only jobs submitted strictly after the job
+        with that id are returned; *limit* caps the page size (applied
+        after filtering).
+        """
+        params = []
+        if state is not None:
+            params.append(f"state={quote(state, safe='')}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if after is not None:
+            params.append(f"after={quote(after, safe='')}")
+        path = "/v1/jobs" + ("?" + "&".join(params) if params else "")
+        return self._request("GET", path)["jobs"]
 
     def wait(self, job_id: str, *, timeout_s: float = 120.0, poll_interval_s: float = 0.05) -> dict:
         """Poll until the job finishes; returns the ``done`` job document.

@@ -47,8 +47,9 @@ from repro.monitoring.load import LoadEvent, LoadGenerator
 from repro.remap.drift import DRIFT_EVENTS_TOTAL, DriftWatcher
 from repro.remap.remapper import DECISIONS_TOTAL, MIGRATION_SECONDS_TOTAL, Remapper
 from repro.schedulers import make_scheduler
-from repro.server.jobs import Job, JobStore
+from repro.server.jobs import DuplicateJobError, Job, JobState, JobStore
 from repro.server.protocol import (
+    MAX_BODY_BYTES,
     ApiError,
     HttpRequest,
     RawResponse,
@@ -175,6 +176,21 @@ class CbesDaemon:
     max_traces:
         Ring-buffer size of the default tracer (ignored when *tracer*
         is given).
+    data_dir:
+        When given, job state is **durable**: every transition is
+        journaled to this directory (see :mod:`repro.persist`), startup
+        replays the journal, and jobs that were queued/running at crash
+        time are re-enqueued.  Without it (the default) the original
+        in-memory store serves exactly as before.
+    fsync:
+        Journal durability policy (``always`` / ``interval`` /
+        ``never``); only meaningful with *data_dir*.
+    replica_id:
+        Identity this daemon reports in ``GET /v1/healthz`` (the fleet
+        router sets it per replica); empty means standalone.
+    max_body_bytes:
+        Largest accepted request body; larger bodies are drained and
+        answered 413 without dropping the keep-alive connection.
     """
 
     def __init__(
@@ -194,6 +210,10 @@ class CbesDaemon:
         metrics: telemetry.MetricsRegistry | None = None,
         tracer: telemetry.Tracer | None = None,
         max_traces: int = 64,
+        data_dir: str | None = None,
+        fsync: str = "interval",
+        replica_id: str = "",
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -205,6 +225,8 @@ class CbesDaemon:
             raise ValueError("keepalive_max_requests must be >= 1")
         if keepalive_timeout_s is not None and keepalive_timeout_s <= 0:
             raise ValueError("keepalive_timeout_s must be > 0")
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
         self._service = service
         self._host = host
         self._port = port
@@ -215,12 +237,28 @@ class CbesDaemon:
         self._keepalive_max = keepalive_max_requests
         self._keepalive_timeout = keepalive_timeout_s
         self._monitor_kwargs = dict(monitor_kwargs) if monitor_kwargs else None
+        self._replica_id = replica_id
+        self._max_body_bytes = int(max_body_bytes)
 
         self._metrics = metrics if metrics is not None else telemetry.MetricsRegistry()
         self._tracer = tracer if tracer is not None else telemetry.Tracer(max_traces=max_traces)
         self._snapshot_adopted_at: float | None = None
         self._instrument()
-        self._store = JobStore(ttl_s=job_ttl_s, on_evict=self._on_job_evicted)
+        self._durable = data_dir is not None
+        if data_dir is not None:
+            # Imported here, not at module top: repro.persist builds on
+            # repro.server.jobs, so a top-level import would be circular.
+            from repro.persist.store import DurableJobStore
+
+            self._store: JobStore = DurableJobStore(
+                data_dir,
+                ttl_s=job_ttl_s,
+                on_evict=self._on_job_evicted,
+                fsync=fsync,
+                metrics=self._metrics,
+            )
+        else:
+            self._store = JobStore(ttl_s=job_ttl_s, on_evict=self._on_job_evicted)
         self._queue: asyncio.Queue[Job] | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -384,7 +422,20 @@ class CbesDaemon:
         # daemon's registry through the ambient global fallback.
         telemetry.set_registry(self._metrics)
         telemetry.set_tracer(self._tracer)
-        self._queue = asyncio.Queue(maxsize=self._queue_limit)
+        # Unbounded queue, bounded by the explicit capacity checks in the
+        # submit handlers: recovery may legitimately re-enqueue more jobs
+        # than queue_limit, and those must never be dropped.
+        self._queue = asyncio.Queue()
+        if self._durable:
+            recovered = self._store.take_recovered()
+            for job in recovered:
+                self._queue.put_nowait(job)
+            if recovered:
+                log.info(
+                    "re-enqueued %d recovered job(s): %s",
+                    len(recovered),
+                    " ".join(job.id for job in recovered),
+                )
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="cbes-job"
         )
@@ -465,6 +516,8 @@ class CbesDaemon:
             telemetry.set_registry(None)
         if telemetry.get_tracer() is self._tracer:
             telemetry.set_tracer(None)
+        if self._durable:
+            self._store.close()
         log.info("daemon stopped (drained=%s, jobs=%s)", drain, self._store.counts())
 
     async def serve_forever(self) -> None:
@@ -668,14 +721,23 @@ class CbesDaemon:
                 try:
                     try:
                         request = await asyncio.wait_for(
-                            read_request(reader), self._keepalive_timeout
+                            read_request(reader, max_body_bytes=self._max_body_bytes),
+                            self._keepalive_timeout,
                         )
                     except asyncio.TimeoutError:
                         break  # idle keep-alive connection: reap it
                     except ApiError as exc:
-                        # Parse-level failure: the stream may be
-                        # desynchronized, so answer and close.
+                        # Parse-level failure.  Recoverable ones (413
+                        # with the oversized body drained) leave the
+                        # stream correctly framed, so keep-alive can
+                        # survive them; anything else may be
+                        # desynchronized — answer and close.
                         status, payload, headers = exc.status, exc.to_payload(), exc.headers
+                        if exc.recoverable:
+                            served += 1
+                            keep_alive = (
+                                served < self._keepalive_max and not self._draining
+                            )
                     else:
                         if request is None:
                             break  # clean EOF between requests
@@ -775,7 +837,7 @@ class CbesDaemon:
             if method == "POST":
                 return self._submit(request, request_id)
             if method == "GET":
-                return 200, {"jobs": [job.to_dict() for job in self._store.list()]}, {}
+                return self._list_jobs(query)
             raise ApiError(405, "method-not-allowed", f"{method} not allowed on {path}")
         if path == "/v1/jobs:batch":
             if method == "POST":
@@ -837,22 +899,57 @@ class CbesDaemon:
             return 200, {"traces": self._tracer.traces(limit)}, {}
         raise ApiError(404, "not-found", f"no route for {path}")
 
+    def _list_jobs(self, query: dict[str, list[str]]) -> tuple[int, dict, dict]:
+        """``GET /v1/jobs``: listing with ``state``/``limit``/``after``."""
+        state = query.get("state", [None])[0]
+        if state is not None:
+            try:
+                JobState(state)
+            except ValueError:
+                valid = ", ".join(s.value for s in JobState)
+                raise ApiError(
+                    400, "bad-request", f"unknown state {state!r}; valid: {valid}"
+                ) from None
+        limit = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+            except ValueError:
+                raise ApiError(400, "bad-request", "limit must be an integer") from None
+            if limit < 0:
+                raise ApiError(400, "bad-request", "limit must be >= 0")
+        after = query.get("after", [None])[0]
+        try:
+            jobs = self._store.list(state=state, limit=limit, after=after)
+        except KeyError:
+            raise ApiError(
+                400, "bad-request", f"unknown 'after' job id {after!r} (evicted or never existed)"
+            ) from None
+        return 200, {"jobs": [job.to_dict() for job in jobs]}, {}
+
     def _submit(self, request: HttpRequest, request_id: str) -> tuple[int, dict, dict]:
         if self._draining:
             raise ApiError(503, "shutting-down", "daemon is draining; submit elsewhere")
-        kind, payload = validate_job_payload(self._service, request.json())
+        doc = request.json()
+        kind, payload = validate_job_payload(self._service, doc)
         assert self._queue is not None
-        job = self._store.create(kind, payload, request_id=request_id)
-        try:
-            self._queue.put_nowait(job)
-        except asyncio.QueueFull:
-            self._store.discard(job.id)
+        # The queue is unbounded (recovery may overfill it); the client
+        # contract — 429 beyond queue_limit waiting jobs — is enforced
+        # here, with no awaits between check and enqueue.
+        if self._queue.qsize() >= self._queue_limit:
             raise ApiError(
                 429,
                 "queue-full",
                 f"job queue is full ({self._queue_limit} waiting); retry later",
                 headers={"Retry-After": "1"},
-            ) from None
+            )
+        try:
+            job = self._store.create(
+                kind, payload, request_id=request_id, job_id=doc.get("id")
+            )
+        except DuplicateJobError as exc:
+            raise ApiError(409, "duplicate-job", str(exc)) from None
+        self._queue.put_nowait(job)
         self._store.evict_expired()
         log.info("job %s (%s app=%s req=%s) queued", job.id, kind, payload["app"], request_id)
         return 202, {"job": job.to_dict()}, {}
@@ -870,7 +967,8 @@ class CbesDaemon:
         """
         if self._draining:
             raise ApiError(503, "shutting-down", "daemon is draining; submit elsewhere")
-        validated = validate_batch_payload(self._service, request.json())
+        doc = request.json()
+        validated = validate_batch_payload(self._service, doc)
         assert self._queue is not None
         free = self._queue_limit - self._queue.qsize()
         if len(validated) > free:
@@ -881,10 +979,19 @@ class CbesDaemon:
                 f"({free} of {self._queue_limit}); retry later or split the batch",
                 headers={"Retry-After": "1"},
             )
-        jobs = [
-            self._store.create(kind, payload, request_id=request_id)
-            for kind, payload in validated
-        ]
+        ids = [entry.get("id") for entry in doc["jobs"]]
+        jobs: list[Job] = []
+        try:
+            for (kind, payload), job_id in zip(validated, ids):
+                jobs.append(
+                    self._store.create(kind, payload, request_id=request_id, job_id=job_id)
+                )
+        except DuplicateJobError as exc:
+            # All-or-nothing holds for ids too: roll back what was
+            # created (nothing is enqueued yet).
+            for job in jobs:
+                self._store.discard(job.id)
+            raise ApiError(409, "duplicate-job", str(exc)) from None
         for job in jobs:
             self._queue.put_nowait(job)
         self._m_batches.inc()
@@ -1033,7 +1140,7 @@ class CbesDaemon:
 
     def _health(self) -> dict:
         assert self._queue is not None and self._started_at is not None
-        return {
+        doc = {
             "status": "draining" if self._draining else "ok",
             "uptime_s": time.monotonic() - self._started_at,
             "workers": self._workers,
@@ -1046,6 +1153,17 @@ class CbesDaemon:
             "remap_watches": len(self._watches),
             "remap_decisions": len(self._decisions),
         }
+        if self._replica_id:
+            doc["replica"] = self._replica_id
+        if self._durable:
+            doc["persistence"] = {
+                "data_dir": str(self._store.data_dir),
+                "journal_records": self._store.journal.records,
+                "journal_bytes": self._store.journal.size_bytes,
+                "compactions": self._store.compactions,
+                "recovered_terminal": self._store.recovered_terminal,
+            }
+        return doc
 
 
 class DaemonThread:

@@ -13,7 +13,6 @@ worker threads drive the status transitions.
 
 from __future__ import annotations
 
-import itertools
 import logging
 import threading
 import time
@@ -21,7 +20,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["JobState", "JobStateError", "Job", "JobStore"]
+__all__ = ["DuplicateJobError", "JobState", "JobStateError", "Job", "JobStore"]
 
 log = logging.getLogger("repro.server.jobs")
 
@@ -51,6 +50,10 @@ _TRANSITIONS: dict[JobState, frozenset[JobState]] = {
 
 class JobStateError(RuntimeError):
     """An illegal job status transition was attempted."""
+
+
+class DuplicateJobError(ValueError):
+    """A caller-supplied job id collides with a live job."""
 
 
 @dataclass
@@ -120,18 +123,38 @@ class JobStore:
         self._on_evict = on_evict
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
-        self._counter = itertools.count(1)
+        #: Next sequence number for store-minted ids (``j000001``...).
+        #: A plain int (not itertools.count) so a durable subclass can
+        #: resume it past recovered ids and snapshot its current value.
+        self._next_seq = 1
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._jobs)
 
     # -- creation / lookup ----------------------------------------------
-    def create(self, kind: str, payload: dict, *, request_id: str = "") -> Job:
-        """Register a new queued job and return it."""
+    def create(self, kind: str, payload: dict, *, request_id: str = "", job_id: str | None = None) -> Job:
+        """Register a new queued job and return it.
+
+        *job_id* lets a caller (the fleet router, which rendezvous-hashes
+        ids to replicas *before* submitting) choose the id; it must not
+        collide with a live job (:class:`DuplicateJobError`).  Without
+        it the store mints the next ``jNNNNNN`` id.
+        """
         with self._lock:
+            if job_id is not None:
+                if not job_id:
+                    raise ValueError("job_id must be a non-empty string")
+                if job_id in self._jobs:
+                    raise DuplicateJobError(f"job id {job_id!r} already exists")
+            else:
+                # Skip over any caller-supplied id that happens to look
+                # like ours; ids are never reused while the job lives.
+                while (job_id := f"j{self._next_seq:06d}") in self._jobs:
+                    self._next_seq += 1
+                self._next_seq += 1
             job = Job(
-                id=f"j{next(self._counter):06d}",
+                id=job_id,
                 kind=kind,
                 payload=payload,
                 created_at=self._clock(),
@@ -150,10 +173,43 @@ class JobStore:
         with self._lock:
             return self._jobs[job_id]
 
-    def list(self) -> list[Job]:
-        """All live jobs, oldest first."""
+    def list(
+        self,
+        *,
+        state: JobState | str | None = None,
+        limit: int | None = None,
+        after: str | None = None,
+    ) -> list[Job]:
+        """Live jobs, oldest first (ties broken by id), with paging.
+
+        Parameters
+        ----------
+        state:
+            Keep only jobs in this state.
+        after:
+            Cursor: return jobs ordered strictly after the job with this
+            id.  The cursor job's *position* is used, not its state, so
+            a page boundary stays valid even if that job has since
+            transitioned out of the filtered state.  Unknown (or
+            evicted) ids raise ``KeyError``.
+        limit:
+            Return at most this many jobs (applied after filtering).
+        """
+        if state is not None:
+            state = JobState(state)
         with self._lock:
-            return sorted(self._jobs.values(), key=lambda j: j.created_at)
+            ordered = sorted(self._jobs.values(), key=lambda j: (j.created_at, j.id))
+            if after is not None:
+                cursor = self._jobs.get(after)
+                if cursor is None:
+                    raise KeyError(f"unknown 'after' job id {after!r}")
+                key = (cursor.created_at, cursor.id)
+                ordered = [j for j in ordered if (j.created_at, j.id) > key]
+            if state is not None:
+                ordered = [j for j in ordered if j.state is state]
+            if limit is not None:
+                ordered = ordered[: max(0, limit)]
+            return ordered
 
     def counts(self) -> dict[str, int]:
         """Number of live jobs per state (health endpoint)."""

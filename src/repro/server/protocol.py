@@ -17,8 +17,14 @@ from dataclasses import dataclass, field
 __all__ = ["ApiError", "HttpRequest", "RawResponse", "read_request", "render_response"]
 
 #: Upper bounds keeping one misbehaving client from ballooning memory.
+#: The body cap is the *default*; the daemon passes its configured limit
+#: (``--max-body-bytes``) into :func:`read_request` per call.
 MAX_HEADER_BYTES = 32 * 1024
-MAX_BODY_BYTES = 4 * 1024 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: When rejecting an oversized body we still *drain* it (in chunks of
+#: this size) so the connection stays framed for keep-alive reuse.
+_DRAIN_CHUNK = 64 * 1024
 
 _REASONS = {
     200: "OK",
@@ -26,9 +32,11 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    501: "Not Implemented",
     503: "Service Unavailable",
 }
 
@@ -39,14 +47,26 @@ class ApiError(Exception):
     ``code`` is the machine-readable error tag documented in
     ``docs/SERVICE.md``; ``message`` is for humans; ``headers`` lets a
     handler attach response headers (e.g. ``Retry-After`` on 429).
+    ``recoverable`` marks parse-stage errors after which the connection
+    is still correctly framed (the offending request was fully consumed)
+    and may keep serving keep-alive requests.
     """
 
-    def __init__(self, status: int, code: str, message: str, *, headers: dict[str, str] | None = None):
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        recoverable: bool = False,
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.headers = dict(headers or {})
+        self.recoverable = recoverable
 
     def to_payload(self) -> dict:
         return {"error": {"code": self.code, "message": self.message}}
@@ -86,12 +106,16 @@ class HttpRequest:
         return doc
 
 
-async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body_bytes: int = MAX_BODY_BYTES
+) -> HttpRequest | None:
     """Parse one HTTP request off *reader*.
 
     Returns ``None`` on a clean EOF before any bytes (client closed the
     idle connection); raises :class:`ApiError` on malformed or oversized
-    input.
+    input.  *max_body_bytes* caps the declared ``Content-Length``: an
+    oversized body is drained (so the connection stays framed) and
+    answered with a *recoverable* 413 — keep-alive survives it.
     """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -127,8 +151,26 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
             raise ApiError(400, "bad-request", "malformed Content-Length header") from None
         if length < 0:
             raise ApiError(400, "bad-request", "malformed Content-Length header")
-        if length > MAX_BODY_BYTES:
-            raise ApiError(413, "payload-too-large", f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length > max_body_bytes:
+            # Consume the declared body before erroring: the next bytes
+            # on the socket are then a fresh request, so the daemon can
+            # answer 413 and keep the connection open.  A client that
+            # hangs up mid-body still gets the 413, but the connection
+            # is no longer framed, so that one is not recoverable.
+            remaining = length
+            drained = True
+            while remaining > 0:
+                chunk = await reader.read(min(_DRAIN_CHUNK, remaining))
+                if not chunk:
+                    drained = False
+                    break
+                remaining -= len(chunk)
+            raise ApiError(
+                413,
+                "payload-too-large",
+                f"request body of {length} bytes exceeds the {max_body_bytes} byte limit",
+                recoverable=drained,
+            )
         try:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:

@@ -94,7 +94,18 @@ def validate_job_payload(service, doc: dict) -> tuple[str, dict]:
         raise ApiError(
             400, "bad-request", f"payload field 'kind' must be one of {', '.join(JOB_KINDS)}"
         )
+    # 'id' lets a caller pick the job id (the fleet router mints
+    # globally-unique ids and rendezvous-hashes them to replicas); the
+    # daemon answers 409 if it collides with a live job.
+    job_id = doc.get("id")
+    if job_id is not None and (
+        not isinstance(job_id, str) or not job_id or len(job_id) > 128
+    ):
+        raise ApiError(
+            400, "bad-request", "payload field 'id' must be a non-empty string of <= 128 chars"
+        )
     known = {
+        "id",
         "kind",
         "app",
         "seed",
